@@ -1,0 +1,86 @@
+"""Shared workload builders for the benchmark suite.
+
+Benchmarks follow the paper's measurement protocol: engines share one
+predicate registry and index manager (identical phase 1), fulfilled
+predicate-id sets are sampled directly (the paper controls "matching
+predicates per event"), and only phase 2 is timed.
+
+Workload construction is memoized per (predicate count, subscription
+count) so the many per-engine benchmarks in one session do not rebuild
+the same subscription population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import (
+    CountingEngine,
+    CountingVariantEngine,
+    NonCanonicalEngine,
+)
+from repro.indexes import IndexManager
+from repro.predicates import PredicateRegistry
+from repro.workloads import FulfilledPredicateSampler, PaperSubscriptionGenerator
+
+
+@dataclass
+class Workload:
+    """Engines loaded with one paper-shaped subscription population."""
+
+    predicates_per_subscription: int
+    subscriptions: int
+    registry: PredicateRegistry
+    engines: dict[str, object]
+    subscription_ids: list[int]
+
+    def fulfilled_sets(self, per_event: int, events: int, seed: int = 99):
+        sampler = FulfilledPredicateSampler(
+            predicate_ids=range(1, len(self.registry) + 1),
+            fulfilled_per_event=per_event,
+            seed=seed,
+        )
+        return sampler.samples(events)
+
+
+_CACHE: dict[tuple[int, int], Workload] = {}
+
+
+def build_workload(predicates: int, subscriptions: int) -> Workload:
+    """Engines of all three kinds loaded with the same subscriptions."""
+    key = (predicates, subscriptions)
+    if key in _CACHE:
+        return _CACHE[key]
+    registry = PredicateRegistry()
+    indexes = IndexManager()
+    engines = {
+        "non-canonical": NonCanonicalEngine(registry=registry, indexes=indexes),
+        "counting-variant": CountingVariantEngine(
+            registry=registry, indexes=indexes
+        ),
+        "counting": CountingEngine(registry=registry, indexes=indexes),
+    }
+    generator = PaperSubscriptionGenerator(
+        predicates_per_subscription=predicates, seed=20050610
+    )
+    ids = []
+    for subscription in generator.subscriptions(subscriptions):
+        for engine in engines.values():
+            engine.register(subscription)
+        ids.append(subscription.subscription_id)
+    workload = Workload(
+        predicates_per_subscription=predicates,
+        subscriptions=subscriptions,
+        registry=registry,
+        engines=engines,
+        subscription_ids=ids,
+    )
+    _CACHE[key] = workload
+    return workload
+
+
+@pytest.fixture(scope="session")
+def workload_factory():
+    return build_workload

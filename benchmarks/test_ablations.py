@@ -1,0 +1,222 @@
+"""A1-A6 — ablations of the non-canonical engine's design choices.
+
+These quantify the decisions DESIGN.md §5 calls out: evaluation form
+(A1), codec (A2), tree reordering (A3, paper §3.2 future work), shared
+predicates (A4, paper §4 avoids them), unsubscription bookkeeping (A5,
+paper §2.1/§3.3), and the disk-backed arena (A6, paper §5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CountingEngine,
+    DiskTreeStore,
+    NonCanonicalEngine,
+    PagedNonCanonicalEngine,
+)
+from repro.indexes import IndexManager
+from repro.predicates import PredicateRegistry
+from repro.subscriptions import (
+    BasicTreeCodec,
+    SubscriptionTree,
+    VarintTreeCodec,
+)
+from repro.workloads import FulfilledPredicateSampler, PaperSubscriptionGenerator
+
+SUBSCRIPTIONS = 2_000
+PREDICATES = 8
+FULFILLED = 60
+EVENTS = 5
+
+
+def loaded_engine(engine, *, predicates=PREDICATES, count=SUBSCRIPTIONS,
+                  shared_fraction=0.0, seed=5):
+    generator = PaperSubscriptionGenerator(
+        predicates_per_subscription=predicates,
+        shared_predicate_fraction=shared_fraction,
+        seed=seed,
+    )
+    subscriptions = generator.subscriptions(count)
+    for subscription in subscriptions:
+        engine.register(subscription)
+    return engine, subscriptions
+
+
+def fulfilled_sets(engine, *, fulfilled=FULFILLED, events=EVENTS, seed=31):
+    sampler = FulfilledPredicateSampler(
+        predicate_ids=range(1, len(engine.registry) + 1),
+        fulfilled_per_event=fulfilled,
+        seed=seed,
+    )
+    return sampler.samples(events)
+
+
+def run_events(engine, sets):
+    total = 0
+    for fulfilled in sets:
+        total += len(engine.match_fulfilled(fulfilled))
+    return total
+
+
+class TestA1EvaluationForm:
+    """Compiled set-form vs direct encoded-byte evaluation."""
+
+    @pytest.mark.parametrize("evaluation", ["compiled", "encoded"])
+    def test_encoding_ablation(self, benchmark, evaluation):
+        engine, _ = loaded_engine(NonCanonicalEngine(evaluation=evaluation))
+        sets = fulfilled_sets(engine)
+        reference, _ = loaded_engine(NonCanonicalEngine())
+        assert run_events(engine, sets) == run_events(reference, sets)
+        benchmark.extra_info["evaluation"] = evaluation
+        benchmark(run_events, engine, sets)
+
+
+class TestA2Codec:
+    """Paper §5 'improved encoding': varint vs the §3.3 fixed-width codec."""
+
+    @pytest.mark.parametrize("codec", ["basic", "varint"])
+    def test_varint_encoding_size(self, benchmark, codec):
+        engine, _ = loaded_engine(NonCanonicalEngine(codec=codec), count=500)
+        trees_bytes = engine.memory_breakdown()["subscription_trees"]
+        benchmark.extra_info.update(codec=codec, arena_bytes=trees_bytes)
+        sets = fulfilled_sets(engine)
+        benchmark(run_events, engine, sets)
+
+    def test_varint_smaller_than_basic(self, benchmark):
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=PREDICATES, seed=5
+        )
+        registry = PredicateRegistry()
+        trees = [
+            SubscriptionTree.from_expression(s.expression, registry.register)
+            for s in generator.subscriptions(200)
+        ]
+        basic, varint = BasicTreeCodec(), VarintTreeCodec()
+
+        def sizes():
+            return (
+                sum(basic.encoded_size(t) for t in trees),
+                sum(varint.encoded_size(t) for t in trees),
+            )
+
+        basic_bytes, varint_bytes = benchmark(sizes)
+        assert varint_bytes < basic_bytes
+        benchmark.extra_info.update(
+            basic_bytes=basic_bytes,
+            varint_bytes=varint_bytes,
+            saving=round(1 - varint_bytes / basic_bytes, 3),
+        )
+
+
+class TestA3TreeReordering:
+    """Paper §3.2: 'reordering subscription trees ... remains to be
+    investigated' — here with direct encoded evaluation, where child
+    order controls short-circuiting."""
+
+    @pytest.mark.parametrize("reordered", [False, True], ids=["plain", "reordered"])
+    def test_tree_reordering(self, benchmark, reordered):
+        registry = PredicateRegistry()
+        indexes = IndexManager()
+        # skewed fulfilment: low predicate ids fulfilled often
+        def selectivity_of(pid):
+            return 0.9 if pid % 4 == 0 else 0.02
+
+        selectivity = {pid: selectivity_of(pid) for pid in range(1, 40_000)}
+        engine = NonCanonicalEngine(
+            evaluation="encoded",
+            selectivity=selectivity if reordered else None,
+            registry=registry,
+            indexes=indexes,
+        )
+        engine, _ = loaded_engine(engine, count=1_000)
+        universe = [
+            pid for pid in range(1, len(registry) + 1) if selectivity_of(pid) > 0.5
+        ]
+        sampler = FulfilledPredicateSampler(universe, FULFILLED, seed=8)
+        sets = sampler.samples(EVENTS)
+        benchmark.extra_info["reordered"] = reordered
+        benchmark(run_events, engine, sets)
+
+
+class TestA4SharedPredicates:
+    """Paper §4 avoids shared predicates; sharing shrinks the predicate
+    universe and the index, at the cost of larger candidate sets."""
+
+    @pytest.mark.parametrize("shared", [0.0, 0.6], ids=["unique", "shared60"])
+    def test_shared_predicates(self, benchmark, shared):
+        engine, _ = loaded_engine(
+            NonCanonicalEngine(), shared_fraction=shared, count=1_000
+        )
+        sets = fulfilled_sets(engine)
+        benchmark.extra_info.update(
+            shared_fraction=shared,
+            distinct_predicates=len(engine.registry),
+            memory_bytes=engine.memory_bytes(),
+        )
+        benchmark(run_events, engine, sets)
+
+    def test_sharing_shrinks_registry(self, benchmark):
+        def registries():
+            unique, _ = loaded_engine(NonCanonicalEngine(), count=300)
+            shared, _ = loaded_engine(
+                NonCanonicalEngine(), shared_fraction=0.6, count=300, seed=6
+            )
+            return len(unique.registry), len(shared.registry)
+
+        unique_count, shared_count = benchmark.pedantic(
+            registries, rounds=1, iterations=1
+        )
+        assert shared_count < unique_count
+
+
+class TestA5Unsubscription:
+    """Direct unsubscription (per-subscription bookkeeping) vs the full
+    association-table scan the paper's footnote describes — and the
+    non-canonical engine, whose encoded tree lists its own predicates."""
+
+    CASES = {
+        "non-canonical": lambda: NonCanonicalEngine(),
+        "counting-with-lists": lambda: CountingEngine(support_unsubscription=True),
+        "counting-scan": lambda: CountingEngine(support_unsubscription=False),
+    }
+
+    @pytest.mark.parametrize("case", list(CASES))
+    def test_unsubscription_cost(self, benchmark, case):
+        def setup():
+            engine, subscriptions = loaded_engine(
+                self.CASES[case](), count=400, predicates=6
+            )
+            return (engine, [s.subscription_id for s in subscriptions[:50]]), {}
+
+        def unregister_fifty(engine, doomed):
+            for sid in doomed:
+                engine.unregister(sid)
+
+        benchmark.extra_info["strategy"] = case
+        benchmark.pedantic(unregister_fifty, setup=setup, rounds=5, iterations=1)
+
+
+class TestA6DiskBackedArena:
+    """Paper §5: filtering exploiting resources other than main memory."""
+
+    @pytest.mark.parametrize("backend", ["ram", "disk"])
+    def test_paged_matching(self, benchmark, backend, tmp_path):
+        if backend == "ram":
+            engine, _ = loaded_engine(NonCanonicalEngine(evaluation="encoded"))
+        else:
+            store = DiskTreeStore(
+                str(tmp_path / "arena"), page_size=4096, cache_pages=32
+            )
+            engine, _ = loaded_engine(PagedNonCanonicalEngine(store=store))
+        sets = fulfilled_sets(engine)
+        benchmark.extra_info.update(
+            backend=backend, ram_bytes=engine.memory_bytes()
+        )
+        benchmark(run_events, engine, sets)
+        if backend == "disk":
+            benchmark.extra_info["cache_hit_rate"] = round(
+                engine.store.hit_rate(), 3
+            )
+            engine.close()

@@ -1,0 +1,71 @@
+"""F3a-F3f — regenerate Figure 3: subscription-matching time per event.
+
+One benchmark per (panel, engine).  Parameters are the paper's, scaled
+by the quick scale (subscriptions /1250, fulfilled /125 — DESIGN.md §3);
+each benchmark times **phase 2 only** on pre-sampled fulfilled-id sets,
+exactly the quantity the paper's ordinates plot.
+
+The cross-engine ordering assertions (non-canonical fastest, counting
+linear, ...) live in ``test_claims.py``; here each engine is timed in
+isolation so ``--benchmark-compare`` across engines reads like the
+paper's curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure3 import PANELS
+from repro.experiments.parameters import QUICK_SCALE
+
+EVENTS_PER_ROUND = 5
+
+#: (panel, scaled subscription count, scaled fulfilled count)
+PANEL_CASES = [
+    (
+        panel.panel_id,
+        panel.predicates_per_subscription,
+        QUICK_SCALE.subscriptions(panel.paper_max_subscriptions),
+        QUICK_SCALE.fulfilled(panel.fulfilled_paper),
+    )
+    for panel in PANELS.values()
+]
+
+ENGINE_NAMES = ["non-canonical", "counting-variant", "counting"]
+
+
+@pytest.mark.parametrize(
+    "panel_id, predicates, subscriptions, fulfilled",
+    PANEL_CASES,
+    ids=[f"fig3{case[0]}" for case in PANEL_CASES],
+)
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_subscription_matching(
+    benchmark, workload_factory, panel_id, predicates, subscriptions,
+    fulfilled, engine_name,
+):
+    workload = workload_factory(predicates, subscriptions)
+    engine = workload.engines[engine_name]
+    fulfilled_sets = workload.fulfilled_sets(fulfilled, EVENTS_PER_ROUND)
+    match = engine.match_fulfilled
+
+    def matching_round():
+        total = 0
+        for fulfilled_ids in fulfilled_sets:
+            total += len(match(fulfilled_ids))
+        return total
+
+    benchmark.extra_info.update(
+        panel=panel_id,
+        engine=engine_name,
+        subscriptions=subscriptions,
+        stored_subscriptions=engine.stored_subscription_count,
+        fulfilled_per_event=fulfilled,
+        memory_bytes=engine.memory_bytes(),
+    )
+    benchmark(matching_round)
+    # sanity: the counting engines really stored the transformed multiple
+    if engine_name != "non-canonical":
+        assert engine.stored_subscription_count == (
+            subscriptions * 2 ** (predicates // 2)
+        )

@@ -1,0 +1,127 @@
+"""C5 — the §2.1 category comparison: no index vs one-dimensional vs
+multi-dimensional.
+
+Paper §2.1 orders the three algorithm categories:
+
+* time efficiency:  multi-dimensional > one-dimensional > non-indexing
+  ("regarding time efficiency multi-dimensional indexes are a better
+  choice than one-dimensional ones"; non-index matching "grows linearly
+  with the number of subscriptions and has a strong gradient");
+* space efficiency: non-indexing > one-dimensional > multi-dimensional
+  ("multi-dimensional ones might index predicates several times").
+
+One benchmark per engine on a shared conjunctive-friendly workload, plus
+assertion benches for both orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BruteForceEngine, CountingEngine
+from repro.core.matching_tree import MatchingTreeEngine
+from repro.indexes import IndexManager
+from repro.predicates import PredicateRegistry
+from repro.workloads import FulfilledPredicateSampler, PaperSubscriptionGenerator
+
+SUBSCRIPTIONS = 1_500
+PREDICATES = 6
+FULFILLED = 40
+EVENTS = 5
+
+ENGINE_FACTORIES = {
+    "brute-force": BruteForceEngine,        # no index structures
+    "counting": CountingEngine,             # one-dimensional
+    "matching-tree": MatchingTreeEngine,    # multi-dimensional
+}
+
+_cache: list = []
+
+
+def build(name):
+    """All three engines share one registry/index manager so fulfilled
+    predicate ids mean the same thing to each of them."""
+    if not _cache:
+        registry = PredicateRegistry()
+        indexes = IndexManager()
+        engines = {
+            key: factory(registry=registry, indexes=indexes)
+            for key, factory in ENGINE_FACTORIES.items()
+        }
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=PREDICATES, seed=77
+        )
+        for subscription in generator.subscriptions(SUBSCRIPTIONS):
+            for engine in engines.values():
+                engine.register(subscription)
+        sampler = FulfilledPredicateSampler(
+            predicate_ids=range(1, len(registry) + 1),
+            fulfilled_per_event=FULFILLED,
+            seed=78,
+        )
+        _cache.append((engines, sampler.samples(EVENTS)))
+    engines, sets = _cache[0]
+    return engines[name], sets
+
+
+@pytest.mark.parametrize("name", list(ENGINE_FACTORIES))
+def test_category_matching_time(benchmark, name):
+    engine, sets = build(name)
+    match = engine.match_fulfilled
+
+    def rounds():
+        total = 0
+        for fulfilled in sets:
+            total += len(match(fulfilled))
+        return total
+
+    benchmark.extra_info.update(
+        category=name, memory_bytes=engine.memory_bytes()
+    )
+    benchmark(rounds)
+
+
+def test_category_orderings(benchmark):
+    """Both §2.1 orderings, asserted on measured engines."""
+
+    def collect():
+        import time
+
+        measurements = {}
+        for name in ENGINE_FACTORIES:
+            engine, sets = build(name)
+            start = time.perf_counter()
+            for _ in range(3):
+                for fulfilled in sets:
+                    engine.match_fulfilled(fulfilled)
+            measurements[name] = (
+                time.perf_counter() - start,
+                engine.memory_bytes(),
+            )
+        return measurements
+
+    measurements = benchmark.pedantic(collect, rounds=1, iterations=1)
+    times = {name: t for name, (t, _) in measurements.items()}
+    memory = {name: m for name, (_, m) in measurements.items()}
+    # time: multi-dimensional < one-dimensional < non-indexing
+    assert times["matching-tree"] < times["counting"] < times["brute-force"], times
+    # space: non-indexing < one-dimensional < multi-dimensional
+    assert memory["brute-force"] < memory["counting"] < memory["matching-tree"], (
+        memory
+    )
+    benchmark.extra_info.update(
+        times_ms={k: round(v * 1e3, 2) for k, v in times.items()},
+        memory_bytes=memory,
+    )
+
+
+def test_agreement_across_categories(benchmark):
+    def agree():
+        engines = [build(name)[0] for name in ENGINE_FACTORIES]
+        sets = build("counting")[1]
+        for fulfilled in sets:
+            answers = [engine.match_fulfilled(fulfilled) for engine in engines]
+            assert all(answer == answers[0] for answer in answers)
+        return True
+
+    assert benchmark.pedantic(agree, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""T1 — regenerate paper Table 1 (parameters in experiments).
+
+The "measurement" here is trivial (the table is static), but the bench
+exists so ``pytest benchmarks/`` regenerates every paper artifact,
+tables included, and asserts their contents.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import render_table1
+from repro.experiments.parameters import PAPER_PARAMETERS
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(render_table1)
+    # the seven parameter rows of the paper's Table 1
+    assert "CPU speed" in text and "1.8 GHz" in text
+    assert "512 MB" in text
+    assert "2,000 - 5,000,000" in text
+    assert "6 to 10" in text
+    assert "8 to 32" in text
+    assert "AND, OR" in text
+    assert "5,000 - 10,000" in text
+    print()
+    print(text)
+
+
+def test_table1_transformation_arithmetic(benchmark):
+    """Table 1's '8 to 32' row is 2**(|p|/2) for |p| in 6..10."""
+
+    def check():
+        low = 2 ** (PAPER_PARAMETERS.predicates_per_subscription[0] // 2)
+        high = 2 ** (PAPER_PARAMETERS.predicates_per_subscription[1] // 2)
+        return low, high
+
+    low, high = benchmark(check)
+    assert (low, high) == PAPER_PARAMETERS.transformed_subscriptions_per_subscription

@@ -1,0 +1,62 @@
+"""Quickstart: subscribe with arbitrary Boolean expressions, publish, match.
+
+The point of the library (and the paper): you can register subscriptions
+like
+
+    (price > 100 or urgent = true) and not region = 'test'
+
+*directly* — no rewriting into a disjunctive normal form, no multiplied
+storage — and still get index-backed matching.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Broker, Event
+
+def main() -> None:
+    broker = Broker("quickstart")
+
+    # --- subscribe ------------------------------------------------------
+    # Subscriptions are arbitrary Boolean expressions over
+    # attribute-operator-value predicates.
+    alerts = []
+    watch = broker.subscribe(
+        "(price > 100 or urgent = true) and not region = 'test'",
+        subscriber="alice",
+        callback=alerts.append,
+    )
+    bargains = broker.subscribe(
+        "symbol prefix 'AC' and price between [5, 20]",
+        subscriber="bob",
+    )
+    print(f"registered: {watch}")
+    print(f"registered: {bargains}")
+
+    # --- publish --------------------------------------------------------
+    events = [
+        Event({"symbol": "ACME", "price": 120.0, "region": "eu"}),
+        Event({"symbol": "ACME", "price": 12.0, "region": "eu"}),
+        Event({"symbol": "ZORG", "price": 250.0, "region": "test"}),
+        Event({"symbol": "ACE", "price": 7.5, "urgent": True}),
+    ]
+    for event in events:
+        notifications = broker.publish(event)
+        receivers = sorted({n.subscriber for n in notifications})
+        print(f"{dict(event.items())!s:<58} -> {receivers or 'no match'}")
+
+    # --- inspect --------------------------------------------------------
+    print(f"\nalice received {len(alerts)} callback notifications")
+    print(f"broker stats: {broker.stats}")
+    breakdown = broker.engine.memory_breakdown()
+    print(
+        "engine memory (paper cost model): "
+        + ", ".join(f"{k}={v}B" for k, v in breakdown.items())
+    )
+
+    # --- unsubscribe ----------------------------------------------------
+    broker.unsubscribe(watch.subscription_id)
+    print(f"after unsubscribe: {broker.subscription_count} subscription(s) left")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Broker substrate: single broker, clients, and the overlay network."""
+
+from .broker import Broker, BrokerStats, Notification
+from .client import Publisher, Subscriber
+from .network import BrokerNetwork, NetworkStats, TopologyError
+from .persistence import (
+    PersistenceError,
+    dump_subscriptions,
+    load_subscriptions,
+    restore_broker,
+    save_broker,
+)
+
+__all__ = [
+    "Broker",
+    "BrokerStats",
+    "Notification",
+    "Publisher",
+    "Subscriber",
+    "BrokerNetwork",
+    "NetworkStats",
+    "TopologyError",
+    "PersistenceError",
+    "dump_subscriptions",
+    "load_subscriptions",
+    "restore_broker",
+    "save_broker",
+]

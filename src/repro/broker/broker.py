@@ -1,0 +1,200 @@
+"""A single pub/sub broker.
+
+A broker owns a matching engine (pluggable — any
+:class:`~repro.core.base.FilterEngine`), accepts subscriptions and
+publications, validates events against an optional schema, delivers
+notifications to subscriber callbacks, and models the machine it runs on
+(paper §1 motivates filtering on "laptops and mobile devices" rather
+than designated servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.base import FilterEngine
+from ..core.noncanonical import NonCanonicalEngine
+from ..events.event import Event
+from ..events.schema import EventSchema
+from ..memory.model import SimulatedMachine
+from ..subscriptions.subscription import Subscription
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A delivery: ``event`` matched ``subscription_id`` for ``subscriber``."""
+
+    event: Event
+    subscription_id: int
+    subscriber: str | None
+    broker: str
+
+
+@dataclass
+class BrokerStats:
+    """Counters a broker maintains over its lifetime."""
+
+    events_published: int = 0
+    events_matched: int = 0          # events with >= 1 local match
+    notifications_delivered: int = 0
+    subscriptions_registered: int = 0
+    subscriptions_removed: int = 0
+
+
+class Broker:
+    """A standalone content-based pub/sub broker.
+
+    Parameters
+    ----------
+    name:
+        Broker identity (used in notifications and overlay routing).
+    engine:
+        Matching engine; defaults to a fresh
+        :class:`~repro.core.noncanonical.NonCanonicalEngine`.
+    schema:
+        Optional event schema enforced at the publish boundary.
+    machine:
+        Optional simulated machine; when set,
+        :meth:`memory_pressure` reports how close the engine's working
+        set is to the machine's budget.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        engine: FilterEngine | None = None,
+        schema: EventSchema | None = None,
+        machine: SimulatedMachine | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("broker name must be non-empty")
+        self.name = name
+        self.engine = engine if engine is not None else NonCanonicalEngine()
+        self.schema = schema
+        self.machine = machine
+        self.stats = BrokerStats()
+        self._callbacks: dict[int, Callable[[Notification], None] | None] = {}
+        self._subscriptions: dict[int, Subscription] = {}
+
+    # ------------------------------------------------------------------
+    # subscription management
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        subscription: Subscription | str,
+        *,
+        subscriber: str | None = None,
+        callback: Callable[[Notification], None] | None = None,
+    ) -> Subscription:
+        """Register a subscription (object or source text).
+
+        Returns the registered :class:`Subscription` (with its assigned
+        id) so callers can later unsubscribe.
+        """
+        if isinstance(subscription, str):
+            subscription = Subscription.from_text(
+                subscription, subscriber=subscriber
+            )
+        elif subscriber is not None and subscription.subscriber != subscriber:
+            subscription = Subscription(
+                expression=subscription.expression,
+                subscriber=subscriber,
+                subscription_id=subscription.subscription_id,
+            )
+        self.engine.register(subscription)
+        self._callbacks[subscription.subscription_id] = callback
+        self._subscriptions[subscription.subscription_id] = subscription
+        self.stats.subscriptions_registered += 1
+        return subscription
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """Remove a subscription by id."""
+        self.engine.unregister(subscription_id)
+        self._callbacks.pop(subscription_id, None)
+        self._subscriptions.pop(subscription_id, None)
+        self.stats.subscriptions_removed += 1
+
+    def subscription(self, subscription_id: int) -> Subscription:
+        """The registered subscription object for ``subscription_id``."""
+        return self._subscriptions[subscription_id]
+
+    @property
+    def subscription_count(self) -> int:
+        """Number of live subscriptions at this broker."""
+        return self.engine.subscription_count
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+    def publish(self, event: Event) -> list[Notification]:
+        """Match ``event`` and deliver notifications to local subscribers.
+
+        Raises
+        ------
+        SchemaViolationError
+            When a schema is configured and the event does not conform.
+        """
+        if self.schema is not None:
+            self.schema.validate(event)
+        self.stats.events_published += 1
+        matched = self.engine.match(event)
+        if matched:
+            self.stats.events_matched += 1
+        notifications = []
+        for subscription_id in sorted(matched):
+            subscription = self._subscriptions.get(subscription_id)
+            subscriber = (
+                subscription.subscriber if subscription is not None else None
+            )
+            notification = Notification(
+                event=event,
+                subscription_id=subscription_id,
+                subscriber=subscriber,
+                broker=self.name,
+            )
+            callback = self._callbacks.get(subscription_id)
+            if callback is not None:
+                callback(notification)
+            notifications.append(notification)
+        self.stats.notifications_delivered += len(notifications)
+        return notifications
+
+    def notify_local(self, event: Event, subscription_id: int) -> Notification:
+        """Deliver one notification to a locally-registered subscriber.
+
+        Used by the overlay network when an event reaches a
+        subscription's home broker; also invokes the callback.
+        """
+        subscription = self._subscriptions[subscription_id]
+        notification = Notification(
+            event=event,
+            subscription_id=subscription_id,
+            subscriber=subscription.subscriber,
+            broker=self.name,
+        )
+        callback = self._callbacks.get(subscription_id)
+        if callback is not None:
+            callback(notification)
+        self.stats.notifications_delivered += 1
+        return notification
+
+    # ------------------------------------------------------------------
+    # resource model
+    # ------------------------------------------------------------------
+    def memory_pressure(self) -> float:
+        """Engine working set as a fraction of the machine budget.
+
+        Returns 0.0 when no machine model is attached; values above 1.0
+        mean the simulated machine would be swapping.
+        """
+        if self.machine is None:
+            return 0.0
+        return self.engine.memory_bytes() / self.machine.available_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Broker({self.name!r}, engine={self.engine.name!r}, "
+            f"subscriptions={self.subscription_count})"
+        )

@@ -1,0 +1,92 @@
+"""Client-side helpers: subscribers and publishers.
+
+Thin convenience wrappers around a :class:`~repro.broker.broker.Broker`
+(or a network attachment point) that keep per-client state: a
+subscriber's received notifications, a publisher's publication count.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..events.event import Event
+from ..subscriptions.subscription import Subscription
+from .broker import Broker, Notification
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .network import BrokerNetwork
+
+
+class Subscriber:
+    """A named client that collects its notifications.
+
+    Example
+    -------
+    >>> broker = Broker("edge")
+    >>> alice = Subscriber("alice", broker)
+    >>> sub = alice.subscribe("price > 10")
+    >>> broker.publish(Event({"price": 12}))  # doctest: +ELLIPSIS
+    [...]
+    >>> len(alice.notifications)
+    1
+    """
+
+    def __init__(self, name: str, broker: Broker) -> None:
+        if not name:
+            raise ValueError("subscriber name must be non-empty")
+        self.name = name
+        self.broker = broker
+        self.notifications: list[Notification] = []
+        self._subscription_ids: set[int] = set()
+
+    def subscribe(self, subscription: Subscription | str) -> Subscription:
+        """Register interest; notifications accumulate on this object."""
+        registered = self.broker.subscribe(
+            subscription, subscriber=self.name, callback=self._receive
+        )
+        self._subscription_ids.add(registered.subscription_id)
+        return registered
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """Drop one of this subscriber's subscriptions."""
+        if subscription_id not in self._subscription_ids:
+            raise KeyError(
+                f"{self.name} does not own subscription {subscription_id}"
+            )
+        self.broker.unsubscribe(subscription_id)
+        self._subscription_ids.discard(subscription_id)
+
+    def unsubscribe_all(self) -> None:
+        """Drop every subscription this subscriber owns."""
+        for subscription_id in list(self._subscription_ids):
+            self.unsubscribe(subscription_id)
+
+    @property
+    def subscription_ids(self) -> frozenset[int]:
+        """Ids of this subscriber's live subscriptions."""
+        return frozenset(self._subscription_ids)
+
+    def _receive(self, notification: Notification) -> None:
+        self.notifications.append(notification)
+
+    def clear(self) -> None:
+        """Forget received notifications (between test phases)."""
+        self.notifications.clear()
+
+
+class Publisher:
+    """A named client that publishes events through one broker."""
+
+    def __init__(self, name: str, broker: Broker) -> None:
+        if not name:
+            raise ValueError("publisher name must be non-empty")
+        self.name = name
+        self.broker = broker
+        self.published_count = 0
+
+    def publish(self, event: Event | dict) -> list[Notification]:
+        """Publish an event (accepts a plain mapping for convenience)."""
+        if not isinstance(event, Event):
+            event = Event(event)
+        self.published_count += 1
+        return self.broker.publish(event)

@@ -1,0 +1,290 @@
+"""Broker overlay network with content-based routing.
+
+Models the deployment the paper motivates: "in typical real world
+situations we will find peer-to-peer networks of less equipped machines,
+such as laptops and mobile devices to perform event filtering" (§1).
+
+Topology and routing follow the classical acyclic-overlay design
+(SIENA-style):
+
+* brokers form a **tree** (connecting two already-connected brokers is
+  rejected — reverse-path routing needs acyclicity);
+* a subscription registered at broker ``B`` is **flooded** to every
+  broker; each broker remembers, per subscription, the neighbor on the
+  path back toward ``B`` (its *next hop*);
+* an event published at broker ``P`` is matched by ``P``'s engine and
+  forwarded only toward neighbors that are the next hop of at least one
+  matching subscription; every broker on the path re-matches with its
+  own engine and delivers locally when it owns the subscriber.
+
+Every broker therefore filters with its *own* engine over the full
+subscription set, which is exactly the situation whose memory ceiling
+the paper analyses — :meth:`BrokerNetwork.memory_report` surfaces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.event import Event
+from ..subscriptions.covering import covers
+from ..subscriptions.subscription import Subscription
+from .broker import Broker, Notification
+
+
+class TopologyError(ValueError):
+    """Raised on invalid overlay mutations (cycles, unknown brokers)."""
+
+
+@dataclass
+class NetworkStats:
+    """Network-wide counters."""
+
+    events_published: int = 0
+    broker_hops: int = 0          # broker-to-broker event transmissions
+    matches_computed: int = 0     # per-broker matching invocations
+    notifications_delivered: int = 0
+    subscription_floods: int = 0  # broker-to-broker subscription transmissions
+    suppressed_registrations: int = 0  # covering-elided remote registrations
+
+
+class BrokerNetwork:
+    """An acyclic overlay of :class:`~repro.broker.broker.Broker` nodes.
+
+    Parameters
+    ----------
+    covering_enabled:
+        Apply subscription covering (Mühl & Fiege [14], see
+        :mod:`repro.subscriptions.covering`) during flooding: a remote
+        broker skips registering a new subscription when an
+        already-registered one with the **same next hop** covers it —
+        events for the covered subscription then ride the coverer's
+        forwarding.  The home broker always registers its own
+        subscriptions, so deliveries are unaffected; when a coverer is
+        withdrawn its covered subscriptions are reinstated.
+    """
+
+    def __init__(self, *, covering_enabled: bool = False) -> None:
+        self._brokers: dict[str, Broker] = {}
+        self._neighbors: dict[str, set[str]] = {}
+        #: per broker: subscription id -> neighbor toward the home broker
+        #: (``None`` for the home broker itself)
+        self._next_hop: dict[str, dict[int, str | None]] = {}
+        #: subscription id -> home broker name
+        self._home: dict[int, str] = {}
+        #: subscription id -> (expression, subscriber), for reinstatement
+        self._definitions: dict[int, tuple] = {}
+        #: per broker: covered subscription id -> covering subscription id
+        self._suppressed: dict[str, dict[int, int]] = {}
+        self.covering_enabled = covering_enabled
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_broker(self, broker: Broker) -> Broker:
+        """Add a broker node (initially disconnected)."""
+        if broker.name in self._brokers:
+            raise TopologyError(f"broker {broker.name!r} already present")
+        self._brokers[broker.name] = broker
+        self._neighbors[broker.name] = set()
+        self._next_hop[broker.name] = {}
+        self._suppressed[broker.name] = {}
+        return broker
+
+    def connect(self, first: str, second: str) -> None:
+        """Link two brokers; rejects links that would close a cycle."""
+        if first == second:
+            raise TopologyError("cannot connect a broker to itself")
+        for name in (first, second):
+            if name not in self._brokers:
+                raise TopologyError(f"unknown broker {name!r}")
+        if self._reachable(first, second):
+            raise TopologyError(
+                f"linking {first!r} and {second!r} would create a cycle; "
+                "the overlay must stay acyclic for reverse-path routing"
+            )
+        self._neighbors[first].add(second)
+        self._neighbors[second].add(first)
+
+    def _reachable(self, start: str, goal: str) -> bool:
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for neighbor in self._neighbors[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return False
+
+    def broker(self, name: str) -> Broker:
+        """Look up a broker by name."""
+        try:
+            return self._brokers[name]
+        except KeyError:
+            raise TopologyError(f"unknown broker {name!r}") from None
+
+    def brokers(self) -> list[Broker]:
+        """All brokers in the overlay."""
+        return list(self._brokers.values())
+
+    def neighbors(self, name: str) -> frozenset[str]:
+        """Neighbor names of a broker."""
+        return frozenset(self._neighbors[self.broker(name).name])
+
+    # ------------------------------------------------------------------
+    # subscription routing
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        broker_name: str,
+        subscription: Subscription | str,
+        *,
+        subscriber: str | None = None,
+        callback=None,
+    ) -> Subscription:
+        """Register at ``broker_name`` and flood to the whole overlay."""
+        home = self.broker(broker_name)
+        registered = home.subscribe(
+            subscription, subscriber=subscriber, callback=callback
+        )
+        sid = registered.subscription_id
+        self._home[sid] = home.name
+        self._next_hop[home.name][sid] = None
+        self._definitions[sid] = (registered.expression, registered.subscriber)
+        self._flood_subscription(home.name, registered)
+        return registered
+
+    def _flood_subscription(self, origin: str, subscription: Subscription) -> None:
+        sid = subscription.subscription_id
+        frontier = [(origin, neighbor) for neighbor in self._neighbors[origin]]
+        while frontier:
+            came_from, current = frontier.pop()
+            coverer = (
+                self._find_coverer(current, came_from, subscription.expression)
+                if self.covering_enabled
+                else None
+            )
+            self._next_hop[current][sid] = came_from
+            if coverer is not None:
+                self._suppressed[current][sid] = coverer
+                self.stats.suppressed_registrations += 1
+            else:
+                # remote registration: match-only, no local callback
+                self._brokers[current].subscribe(
+                    Subscription(
+                        expression=subscription.expression,
+                        subscriber=subscription.subscriber,
+                        subscription_id=sid,
+                    )
+                )
+            self.stats.subscription_floods += 1
+            for neighbor in self._neighbors[current]:
+                if neighbor != came_from:
+                    frontier.append((current, neighbor))
+
+    def _find_coverer(self, broker_name, direction, expression):
+        """A registered subscription at ``broker_name`` whose next hop is
+        ``direction`` and whose expression covers ``expression``.
+
+        The same-direction requirement is what makes suppression sound:
+        any event matching the covered subscription matches the coverer,
+        so the broker still forwards it toward ``direction`` — the covered
+        subscription's home lies that way too.
+        """
+        hops = self._next_hop[broker_name]
+        suppressed = self._suppressed[broker_name]
+        for candidate, hop in hops.items():
+            if hop != direction or candidate in suppressed:
+                continue
+            definition = self._definitions.get(candidate)
+            if definition is not None and covers(definition[0], expression):
+                return candidate
+        return None
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """Withdraw a subscription everywhere.
+
+        With covering enabled, subscriptions this one covered are
+        reinstated at every broker where it had absorbed them.
+        """
+        home = self._home.pop(subscription_id, None)
+        if home is None:
+            raise TopologyError(f"unknown subscription {subscription_id}")
+        for name, broker in self._brokers.items():
+            hops = self._next_hop[name]
+            suppressed = self._suppressed[name]
+            if subscription_id in hops:
+                if suppressed.pop(subscription_id, None) is None:
+                    broker.unsubscribe(subscription_id)
+                del hops[subscription_id]
+            # reinstate anything this subscription was covering here
+            orphans = [
+                covered
+                for covered, coverer in suppressed.items()
+                if coverer == subscription_id
+            ]
+            for covered in orphans:
+                del suppressed[covered]
+                expression, subscriber = self._definitions[covered]
+                broker.subscribe(
+                    Subscription(
+                        expression=expression,
+                        subscriber=subscriber,
+                        subscription_id=covered,
+                    )
+                )
+        self._definitions.pop(subscription_id, None)
+
+    # ------------------------------------------------------------------
+    # event routing
+    # ------------------------------------------------------------------
+    def publish(self, broker_name: str, event: Event) -> list[Notification]:
+        """Publish at ``broker_name``; returns all network-wide deliveries.
+
+        The event travels only toward brokers with matching downstream
+        subscriptions; each broker on the path re-matches with its own
+        engine (standard reverse-path content-based forwarding).
+        """
+        self.stats.events_published += 1
+        deliveries: list[Notification] = []
+        frontier: list[tuple[str | None, str]] = [(None, self.broker(broker_name).name)]
+        while frontier:
+            came_from, current = frontier.pop()
+            broker = self._brokers[current]
+            if broker.schema is not None:
+                broker.schema.validate(event)
+            matched = broker.engine.match(event)
+            self.stats.matches_computed += 1
+            broker.stats.events_published += 1
+            if matched:
+                broker.stats.events_matched += 1
+            forward_to: set[str] = set()
+            for sid in sorted(matched):
+                hop = self._next_hop[current].get(sid)
+                if hop is None:
+                    # this broker is the subscription's home: deliver
+                    deliveries.append(broker.notify_local(event, sid))
+                elif hop != came_from:
+                    forward_to.add(hop)
+            for neighbor in forward_to:
+                self.stats.broker_hops += 1
+                frontier.append((current, neighbor))
+        self.stats.notifications_delivered += len(deliveries)
+        return deliveries
+
+    # ------------------------------------------------------------------
+    # resource reporting
+    # ------------------------------------------------------------------
+    def memory_report(self) -> dict[str, dict[str, int]]:
+        """Per-broker engine memory breakdowns (paper cost model)."""
+        return {
+            name: dict(broker.engine.memory_breakdown())
+            for name, broker in self._brokers.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._brokers)

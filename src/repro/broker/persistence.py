@@ -1,0 +1,131 @@
+"""Subscription persistence: save and restore broker state.
+
+Brokers on "less equipped machines" (paper §1) restart; a production
+deployment needs its subscription population to survive.  Subscriptions
+serialize to JSON lines — one object per subscription with its id,
+subscriber and the expression in the subscription language's textual
+form (the parser round-trips everything :func:`repro.subscriptions.parse`
+accepts, which the parser test suite pins).
+
+Example
+-------
+>>> broker = Broker("edge")
+>>> broker.subscribe("price > 10", subscriber="alice")     # doctest: +SKIP
+>>> save_broker(broker, "subscriptions.jsonl")             # doctest: +SKIP
+>>> restored = Broker("edge-2")
+>>> restore_broker(restored, "subscriptions.jsonl")        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..subscriptions.parser import parse
+from ..subscriptions.subscription import Subscription
+from .broker import Broker
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Raised when a subscription file is malformed."""
+
+
+def serialize_subscription(subscription: Subscription) -> str:
+    """One subscription as a JSON line."""
+    return json.dumps(
+        {
+            "v": FORMAT_VERSION,
+            "id": subscription.subscription_id,
+            "subscriber": subscription.subscriber,
+            "expression": str(subscription.expression),
+        },
+        sort_keys=True,
+    )
+
+
+def deserialize_subscription(line: str) -> Subscription:
+    """Parse one JSON line back into a subscription.
+
+    Raises
+    ------
+    PersistenceError
+        On malformed JSON, missing fields, unsupported versions, or
+        expressions the subscription language cannot parse.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise PersistenceError(f"malformed subscription line: {error}") from None
+    if not isinstance(payload, dict):
+        raise PersistenceError(f"expected an object, got {payload!r}")
+    version = payload.get("v")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(f"unsupported format version {version!r}")
+    missing = {"id", "expression"} - set(payload)
+    if missing:
+        raise PersistenceError(f"missing fields: {sorted(missing)}")
+    try:
+        expression = parse(payload["expression"])
+    except ValueError as error:
+        raise PersistenceError(
+            f"unparseable expression {payload['expression']!r}: {error}"
+        ) from None
+    identifier = payload["id"]
+    if not isinstance(identifier, int) or identifier <= 0:
+        raise PersistenceError(f"invalid subscription id {identifier!r}")
+    return Subscription(
+        expression=expression,
+        subscriber=payload.get("subscriber"),
+        subscription_id=identifier,
+    )
+
+
+def dump_subscriptions(
+    subscriptions: Iterable[Subscription], path: str | Path
+) -> int:
+    """Write subscriptions to ``path`` (JSON lines); returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for subscription in subscriptions:
+            handle.write(serialize_subscription(subscription) + "\n")
+            count += 1
+    return count
+
+
+def load_subscriptions(path: str | Path) -> list[Subscription]:
+    """Read subscriptions back from ``path``."""
+    subscriptions = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                subscriptions.append(deserialize_subscription(line))
+            except PersistenceError as error:
+                raise PersistenceError(f"line {number}: {error}") from None
+    return subscriptions
+
+
+def save_broker(broker: Broker, path: str | Path) -> int:
+    """Persist every live subscription of ``broker``."""
+    live = [
+        broker.subscription(subscription_id)
+        for subscription_id in sorted(broker._subscriptions)
+    ]
+    return dump_subscriptions(live, path)
+
+
+def restore_broker(broker: Broker, path: str | Path) -> int:
+    """Register every persisted subscription with ``broker``.
+
+    Callbacks are not persisted (they are process-local callables);
+    subscribers re-attach by id after a restore.
+    """
+    subscriptions = load_subscriptions(path)
+    for subscription in subscriptions:
+        broker.subscribe(subscription)
+    return len(subscriptions)

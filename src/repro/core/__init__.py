@@ -1,0 +1,39 @@
+"""Matching engines: the paper's non-canonical filter and its baselines."""
+
+from .base import (
+    FilterEngine,
+    UnknownSubscriptionError,
+    UnsupportedSubscriptionError,
+)
+from .bruteforce import BruteForceEngine
+from .counting import MAX_CLAUSE_PREDICATES, CountingEngine, CountingVariantEngine
+from .matching_tree import MatchingTreeEngine
+from .noncanonical import NonCanonicalEngine
+from .paged import DiskTreeStore, PagedNonCanonicalEngine
+
+ENGINES = {
+    engine.name: engine
+    for engine in (
+        NonCanonicalEngine,
+        CountingEngine,
+        CountingVariantEngine,
+        BruteForceEngine,
+        PagedNonCanonicalEngine,
+        MatchingTreeEngine,
+    )
+}
+
+__all__ = [
+    "FilterEngine",
+    "UnknownSubscriptionError",
+    "UnsupportedSubscriptionError",
+    "BruteForceEngine",
+    "MAX_CLAUSE_PREDICATES",
+    "CountingEngine",
+    "CountingVariantEngine",
+    "MatchingTreeEngine",
+    "NonCanonicalEngine",
+    "DiskTreeStore",
+    "PagedNonCanonicalEngine",
+    "ENGINES",
+]

@@ -1,0 +1,136 @@
+"""Engine interface shared by all matching algorithms.
+
+Every engine implements the same two-phase contract:
+
+* **phase 1 (predicate matching)** is delegated to a shared
+  :class:`~repro.indexes.manager.IndexManager` — identical across
+  engines, exactly as in the paper's experiments ("the first phases use
+  the same indexes in the same way in both approaches", §4);
+* **phase 2 (subscription matching)** is engine-specific:
+  :meth:`FilterEngine.match_fulfilled` consumes the set of fulfilled
+  predicate identifiers and returns matching subscription identifiers.
+
+``match(event)`` composes the two.  Benchmarks time
+:meth:`match_fulfilled` in isolation, which is what the paper's Fig. 3
+plots.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import AbstractSet, Iterable, Mapping
+
+from ..events.event import Event
+from ..indexes.manager import IndexManager
+from ..predicates.registry import PredicateRegistry
+from ..subscriptions.subscription import Subscription
+
+
+class UnsupportedSubscriptionError(ValueError):
+    """Raised when an engine cannot register a subscription natively.
+
+    The counting engines raise this for expressions whose DNF contains
+    negative literals (predicates without a single-predicate complement
+    under NOT) — the classical conjunctive pipeline simply cannot encode
+    them (paper §2).
+    """
+
+
+class UnknownSubscriptionError(KeyError):
+    """Raised when unregistering a subscription id that is not registered."""
+
+
+class FilterEngine(abc.ABC):
+    """Base class of the matching engines.
+
+    Parameters
+    ----------
+    registry:
+        Shared predicate registry; a private one is created when omitted.
+    indexes:
+        Shared phase-1 index manager; a private one is created when
+        omitted.
+    """
+
+    #: Human-readable engine name used by reports and benchmarks.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        *,
+        registry: PredicateRegistry | None = None,
+        indexes: IndexManager | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else PredicateRegistry()
+        self.indexes = indexes if indexes is not None else IndexManager()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def register(self, subscription: Subscription) -> None:
+        """Register a subscription for matching."""
+
+    @abc.abstractmethod
+    def unregister(self, subscription_id: int) -> None:
+        """Remove a subscription; raises :class:`UnknownSubscriptionError`."""
+
+    @property
+    @abc.abstractmethod
+    def subscription_count(self) -> int:
+        """Number of registered *original* subscriptions."""
+
+    @property
+    def stored_subscription_count(self) -> int:
+        """Number of internally stored subscription units.
+
+        Equals :attr:`subscription_count` for non-transforming engines;
+        for canonical engines it is the post-DNF clause count — the
+        "multiple of the number of original registered subscriptions"
+        the paper's §2.2 warns about.
+        """
+        return self.subscription_count
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def match(self, event: Event) -> set[int]:
+        """Full two-phase matching: ids of subscriptions ``event`` fulfils."""
+        return self.match_fulfilled(self.indexes.match(event))
+
+    @abc.abstractmethod
+    def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
+        """Phase 2 only: match given the fulfilled predicate id set."""
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def memory_breakdown(self) -> Mapping[str, int]:
+        """Bytes per engine data structure under the paper's cost model.
+
+        Phase-1 index memory is excluded — it is identical across
+        engines by construction and would only blur the comparison the
+        paper makes about phase-2 structures.
+        """
+
+    def memory_bytes(self) -> int:
+        """Total phase-2 memory under the paper's cost model."""
+        return sum(self.memory_breakdown().values())
+
+    # ------------------------------------------------------------------
+    # helpers shared by concrete engines
+    # ------------------------------------------------------------------
+    def _register_predicates(self, predicates: Iterable) -> list[int]:
+        """Register predicates in registry + indexes; return their ids."""
+        ids = []
+        for predicate in predicates:
+            pid = self.registry.register(predicate)
+            self.indexes.add(predicate, pid)
+            ids.append(pid)
+        return ids
+
+    def _release_predicate(self, predicate_id: int) -> None:
+        """Drop one reference; de-index the predicate when retired."""
+        if self.registry.release(predicate_id):
+            self.indexes.remove(predicate_id)

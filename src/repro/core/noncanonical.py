@@ -1,0 +1,255 @@
+"""The paper's contribution: the non-canonical filtering engine (§3).
+
+Subscriptions are stored *as registered* — arbitrary Boolean expressions
+compiled to compacted n-ary trees and kept in a byte arena.  Matching an
+event involves the four data structures of paper Fig. 2:
+
+1. the one-dimensional **indexes** (shared phase 1) produce the set of
+   fulfilled predicate ids ``{id(p)}``;
+2. the **predicate subscription association table** maps each fulfilled
+   predicate to the subscriptions referencing it, yielding the candidate
+   set ``{id(s)}``;
+3. the **subscription location table** maps each candidate to ``loc(s)``,
+   the offset of its encoded tree in the arena;
+4. the candidate's **subscription tree** is evaluated directly on the
+   encoded bytes with the fulfilled-id set as the truth assignment.
+
+No transformation ever happens, so memory stays linear in the original
+expression sizes, and phase-2 work is proportional to the *candidate*
+count — not the registered subscription count.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping
+
+from ..indexes.manager import IndexManager
+from ..memory.cost_model import DEFAULT_COST_MODEL, CostModel
+from ..predicates.registry import PredicateRegistry
+from ..subscriptions.compiler import (
+    MODE_ANY,
+    MODE_DNF,
+    MODE_GROUPS,
+    CompiledTree,
+    compile_tree,
+)
+from ..subscriptions.encoding import BasicTreeCodec, TreeArena, VarintTreeCodec
+from ..subscriptions.subscription import Subscription
+from ..subscriptions.tree import SubscriptionTree
+from .base import FilterEngine, UnknownSubscriptionError
+
+
+class NonCanonicalEngine(FilterEngine):
+    """Direct filtering of arbitrary Boolean subscriptions.
+
+    Parameters
+    ----------
+    codec:
+        ``"basic"`` (the paper's fixed-width §3.3 encoding, default) or
+        ``"varint"`` (the §5 "improved encoding" future-work variant).
+    evaluation:
+        ``"compiled"`` (default): trees are compiled at registration into
+        set-intersection match forms evaluated with C-level set
+        operations, mirroring the per-access cost the paper's C prototype
+        pays for encoded-tree traversal (see
+        :mod:`repro.subscriptions.compiler`).  ``"encoded"``: evaluate
+        the byte encoding directly (ablation A1).  Either way the byte
+        arena is maintained and is what the memory model charges.
+    selectivity:
+        Optional mapping ``predicate_id -> fulfilment probability``.
+        When provided, registered trees are reordered for short-circuit
+        evaluation (ablation A3).
+    registry / indexes:
+        See :class:`~repro.core.base.FilterEngine`.
+    """
+
+    name = "non-canonical"
+
+    def __init__(
+        self,
+        *,
+        codec: str = "basic",
+        evaluation: str = "compiled",
+        selectivity: Mapping[int, float] | None = None,
+        registry: PredicateRegistry | None = None,
+        indexes: IndexManager | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        super().__init__(registry=registry, indexes=indexes)
+        if codec == "basic":
+            self._codec = BasicTreeCodec()
+        elif codec == "varint":
+            self._codec = VarintTreeCodec()
+        else:
+            raise ValueError(f"unknown codec {codec!r}; use 'basic' or 'varint'")
+        if evaluation not in ("compiled", "encoded"):
+            raise ValueError(
+                f"unknown evaluation mode {evaluation!r}; "
+                "use 'compiled' or 'encoded'"
+            )
+        self._evaluation = evaluation
+        self._selectivity = dict(selectivity) if selectivity else None
+        self._cost_model = cost_model
+        self._arena = TreeArena()
+        #: predicate subscription association table: id(p) -> {id(s)}
+        self._association: dict[int, set[int]] = {}
+        #: subscription location table: id(s) -> loc(s) = (offset, width)
+        self._locations: dict[int, tuple[int, int]] = {}
+        #: id(s) -> compiled match form (evaluation="compiled" only)
+        self._compiled: dict[int, CompiledTree] = {}
+        #: subscriptions that match under the *empty* truth assignment
+        #: (NOT-rooted expressions): they can match events fulfilling
+        #: none of their predicates, so candidate selection via the
+        #: association table alone would miss them.
+        self._empty_assignment_matchers: set[int] = set()
+        self._subscribers: dict[int, str | None] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, subscription: Subscription) -> None:
+        """Compile, encode and index ``subscription`` — no transformation."""
+        sid = subscription.subscription_id
+        if sid in self._locations:
+            raise ValueError(f"subscription id {sid} already registered")
+        tree = SubscriptionTree.from_expression(
+            subscription.expression, self._register_and_index
+        )
+        if self._selectivity is not None:
+            tree = tree.reordered_by_selectivity(self._selectivity)
+        for pid in tree.predicate_ids():
+            self._association.setdefault(pid, set()).add(sid)
+        offset, width = self._arena.add(self._codec.encode(tree))
+        self._locations[sid] = (offset, width)
+        if self._evaluation == "compiled":
+            self._compiled[sid] = compile_tree(tree.root)
+        if tree.evaluate(frozenset()):
+            self._empty_assignment_matchers.add(sid)
+        self._subscribers[sid] = subscription.subscriber
+
+    def _register_and_index(self, predicate) -> int:
+        pid = self.registry.register(predicate)
+        self.indexes.add(predicate, pid)
+        return pid
+
+    def unregister(self, subscription_id: int) -> None:
+        """Remove a subscription and clean every table it touches.
+
+        This is the operation the paper argues canonical engines handle
+        poorly; here the encoded tree itself lists the predicate ids to
+        clean up, so no table scan is needed (§3.2 footnote 1).
+        """
+        location = self._locations.pop(subscription_id, None)
+        if location is None:
+            raise UnknownSubscriptionError(subscription_id)
+        offset, width = location
+        predicate_ids = set(
+            self._codec.predicate_ids(self._arena.buffer, offset, width)
+        )
+        occurrences = list(
+            self._codec.predicate_ids(self._arena.buffer, offset, width)
+        )
+        self._arena.free(offset, width)
+        for pid in predicate_ids:
+            referencing = self._association.get(pid)
+            if referencing is not None:
+                referencing.discard(subscription_id)
+                if not referencing:
+                    del self._association[pid]
+        # The registry refcounts one reference per *occurrence* at
+        # registration (register() was called once per leaf), so release
+        # symmetrically.
+        for pid in occurrences:
+            self._release_predicate(pid)
+        self._compiled.pop(subscription_id, None)
+        self._empty_assignment_matchers.discard(subscription_id)
+        del self._subscribers[subscription_id]
+        if self._arena.needs_compaction():
+            relocations = self._arena.compact()
+            self._locations = {
+                sid: (relocations[off], w)
+                for sid, (off, w) in self._locations.items()
+            }
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._locations)
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
+        """Candidate selection + subscription tree evaluation (paper §3.2)."""
+        association = self._association
+        candidates: set[int] = set(self._empty_assignment_matchers)
+        for pid in fulfilled_ids:
+            referencing = association.get(pid)
+            if referencing is not None:
+                candidates.update(referencing)
+        matched: set[int] = set()
+        if self._evaluation == "compiled":
+            compiled = self._compiled
+            for sid in candidates:
+                mode, payload = compiled[sid]
+                if mode == MODE_GROUPS:
+                    for group in payload:
+                        if group.isdisjoint(fulfilled_ids):
+                            break
+                    else:
+                        matched.add(sid)
+                elif mode == MODE_ANY:
+                    if not payload.isdisjoint(fulfilled_ids):
+                        matched.add(sid)
+                elif mode == MODE_DNF:
+                    for group in payload:
+                        if group <= fulfilled_ids:
+                            matched.add(sid)
+                            break
+                elif payload(fulfilled_ids):
+                    matched.add(sid)
+            return matched
+        buffer = self._arena.buffer
+        locations = self._locations
+        evaluate = self._codec.evaluate
+        for sid in candidates:
+            offset, width = locations[sid]
+            if evaluate(buffer, offset, width, fulfilled_ids):
+                matched.add(sid)
+        return matched
+
+    def candidates_for(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
+        """The candidate subscription set for a fulfilled-id set (for tests
+        and instrumentation)."""
+        candidates: set[int] = set(self._empty_assignment_matchers)
+        for pid in fulfilled_ids:
+            referencing = self._association.get(pid)
+            if referencing is not None:
+                candidates.update(referencing)
+        return candidates
+
+    def subscriber_of(self, subscription_id: int) -> str | None:
+        """The subscriber registered for ``subscription_id``."""
+        try:
+            return self._subscribers[subscription_id]
+        except KeyError:
+            raise UnknownSubscriptionError(subscription_id) from None
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def memory_breakdown(self) -> Mapping[str, int]:
+        """Bytes per structure under the paper's cost model.
+
+        ``subscription_trees`` is the *live* arena size — the actual
+        encoded bytes, which is exactly what the paper's §3.3 prototype
+        allocates.
+        """
+        model = self._cost_model
+        reference_count = sum(len(s) for s in self._association.values())
+        return {
+            "subscription_trees": self._arena.live_bytes,
+            "association_table": model.association_table_bytes(
+                len(self._association), reference_count
+            ),
+            "location_table": model.location_table_bytes(len(self._locations)),
+        }

@@ -1,0 +1,25 @@
+"""Event model: typed attribute/value messages and optional schemas."""
+
+from .event import (
+    ALLOWED_VALUE_TYPES,
+    AttributeValue,
+    Event,
+    InvalidEventError,
+)
+from .schema import (
+    AttributeSpec,
+    AttributeType,
+    EventSchema,
+    SchemaViolationError,
+)
+
+__all__ = [
+    "ALLOWED_VALUE_TYPES",
+    "AttributeValue",
+    "Event",
+    "InvalidEventError",
+    "AttributeSpec",
+    "AttributeType",
+    "EventSchema",
+    "SchemaViolationError",
+]

@@ -1,0 +1,111 @@
+"""Event messages for the publish/subscribe system.
+
+An event is an immutable set of attribute/value pairs, e.g.::
+
+    Event({"symbol": "ACME", "price": 31.5, "volume": 1200})
+
+Events are what publishers inject into the system and what the filtering
+engines match against registered subscriptions.  Attribute values are
+restricted to the scalar types the predicate language understands:
+``int``, ``float``, ``str`` and ``bool``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Union
+
+AttributeValue = Union[int, float, str, bool]
+
+#: Types allowed as event attribute values (bool is checked first because
+#: it is a subclass of int).
+ALLOWED_VALUE_TYPES = (bool, int, float, str)
+
+_event_counter = itertools.count(1)
+
+
+class InvalidEventError(ValueError):
+    """Raised when an event is constructed from unsupported data."""
+
+
+class Event(Mapping[str, AttributeValue]):
+    """An immutable event message: a mapping from attribute names to values.
+
+    Each event carries a process-unique ``event_id`` used by brokers for
+    duplicate suppression when events travel across an overlay network.
+
+    Parameters
+    ----------
+    attributes:
+        Mapping from attribute name (non-empty ``str``) to a scalar value.
+    event_id:
+        Optional explicit identifier.  When omitted a fresh one is drawn
+        from a process-wide counter.
+
+    Raises
+    ------
+    InvalidEventError
+        If an attribute name is not a non-empty string or a value has an
+        unsupported type.
+    """
+
+    __slots__ = ("_attributes", "_event_id")
+
+    def __init__(
+        self,
+        attributes: Mapping[str, AttributeValue],
+        *,
+        event_id: int | None = None,
+    ) -> None:
+        validated: dict[str, AttributeValue] = {}
+        for name, value in attributes.items():
+            if not isinstance(name, str) or not name:
+                raise InvalidEventError(
+                    f"attribute names must be non-empty strings, got {name!r}"
+                )
+            if not isinstance(value, ALLOWED_VALUE_TYPES):
+                raise InvalidEventError(
+                    f"attribute {name!r} has unsupported value type "
+                    f"{type(value).__name__!r}; allowed: int, float, str, bool"
+                )
+            validated[name] = value
+        self._attributes = validated
+        self._event_id = next(_event_counter) if event_id is None else event_id
+
+    @property
+    def event_id(self) -> int:
+        """Process-unique identifier of this event."""
+        return self._event_id
+
+    @property
+    def attributes(self) -> Mapping[str, AttributeValue]:
+        """Read-only view of the attribute mapping."""
+        return dict(self._attributes)
+
+    def __getitem__(self, name: str) -> AttributeValue:
+        return self._attributes[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._attributes
+
+    def get(self, name: str, default: AttributeValue | None = None):
+        """Return the value for ``name``, or ``default`` when absent."""
+        return self._attributes.get(name, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._attributes.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attributes.items()))
+        return f"Event(id={self._event_id}, {inner})"

@@ -1,0 +1,63 @@
+"""Experiment harness: sweeps, the Figure 3 driver, reporting.
+
+The Figure 3 driver itself lives in :mod:`repro.experiments.figure3`
+(import it directly; keeping it out of this namespace lets
+``python -m repro.experiments.figure3`` run without a double-import
+warning).
+"""
+
+from .harness import (
+    DEFAULT_ENGINE_FACTORIES,
+    EngineSweep,
+    SweepPoint,
+    SweepResult,
+    crossover_subscriptions,
+    growth_ratio,
+    least_squares_slope,
+    normalized_slope,
+    run_sweep,
+    time_subscription_matching,
+)
+from .parameters import (
+    FULL_SCALE,
+    PAPER_PARAMETERS,
+    QUICK_SCALE,
+    SCALES,
+    PaperParameters,
+    ScaleConfig,
+)
+from .profiling import (
+    MatchingProfile,
+    engine_comparison_summary,
+    profile_matching,
+)
+from .report import ascii_plot, format_bytes, format_seconds, format_table
+from .variance import Measurement, measure_until_stable
+
+__all__ = [
+    "DEFAULT_ENGINE_FACTORIES",
+    "EngineSweep",
+    "SweepPoint",
+    "SweepResult",
+    "crossover_subscriptions",
+    "growth_ratio",
+    "least_squares_slope",
+    "normalized_slope",
+    "run_sweep",
+    "time_subscription_matching",
+    "FULL_SCALE",
+    "PAPER_PARAMETERS",
+    "QUICK_SCALE",
+    "SCALES",
+    "PaperParameters",
+    "ScaleConfig",
+    "MatchingProfile",
+    "engine_comparison_summary",
+    "profile_matching",
+    "Measurement",
+    "measure_until_stable",
+    "ascii_plot",
+    "format_bytes",
+    "format_seconds",
+    "format_table",
+]

@@ -1,0 +1,218 @@
+"""Figure 3 reproduction: all six panels, plus Table 1.
+
+Paper Fig. 3 plots subscription-matching time per event against the
+number of registered subscriptions for three engines (non-canonical,
+counting variant, counting) across six panels:
+
+====== ============= ======================
+panel  |p|           fulfilled predicates
+====== ============= ======================
+(a)    6             5,000
+(b)    8             5,000
+(c)    10            5,000
+(d)    6             10,000
+(e)    8             10,000
+(f)    10            10,000
+====== ============= ======================
+
+Run from the command line::
+
+    python -m repro.experiments.figure3 --panel all --scale quick
+    python -m repro.experiments.figure3 --panel c --scale full
+    python -m repro.experiments.figure3 --table1
+
+Subscription counts, fulfilled-predicate counts and the memory budget
+are scaled per :class:`~repro.experiments.parameters.ScaleConfig`;
+shapes (who wins, growth laws, bend positions relative to the sweep) are
+the reproduction target, not absolute seconds (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Sequence, TextIO
+
+from ..memory.model import MIB, SimulatedMachine
+from .harness import SweepResult, run_sweep
+from .parameters import PAPER_PARAMETERS, SCALES, ScaleConfig
+from .report import ascii_plot, format_bytes, format_seconds, format_table
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One Fig. 3 panel: workload shape plus paper sweep range."""
+
+    panel_id: str
+    predicates_per_subscription: int
+    fulfilled_paper: int
+    paper_max_subscriptions: int
+
+    @property
+    def title(self) -> str:
+        return (
+            f"Fig. 3({self.panel_id}): {self.predicates_per_subscription} "
+            f"predicates, {self.fulfilled_paper} fulfilled ones"
+        )
+
+
+PANELS: dict[str, Panel] = {
+    "a": Panel("a", 6, 5_000, 5_000_000),
+    "b": Panel("b", 8, 5_000, 4_000_000),
+    "c": Panel("c", 10, 5_000, 2_500_000),
+    "d": Panel("d", 6, 10_000, 5_000_000),
+    "e": Panel("e", 8, 10_000, 4_000_000),
+    "f": Panel("f", 10, 10_000, 2_500_000),
+}
+
+
+def sweep_positions(panel: Panel, scale: ScaleConfig) -> list[int]:
+    """Ascending subscription checkpoints for a panel under a scale.
+
+    Includes the scaled version of the paper's smallest population
+    (2,000 subscriptions) so the small-N region — where the counting
+    algorithm "behaves most efficient" (§4.1) — stays in frame.
+    """
+    maximum = scale.subscriptions(panel.paper_max_subscriptions)
+    points = scale.points_per_curve
+    positions = {max(round(maximum * (index + 1) / points), 50)
+                 for index in range(points)}
+    positions.add(scale.subscriptions(2_000))
+    return sorted(positions)
+
+
+def machine_for(scale: ScaleConfig) -> SimulatedMachine:
+    """The scaled 512 MB machine (see ScaleConfig.machine calibration)."""
+    divisor = scale.subscription_divisor
+    return SimulatedMachine(
+        total_memory_bytes=max(int(512 * MIB / divisor), 64 * 1024),
+        os_reserved_bytes=max(int(64 * MIB / divisor), 8 * 1024),
+    )
+
+
+def run_panel(panel: Panel, scale: ScaleConfig, **overrides) -> SweepResult:
+    """Run one panel; ``overrides`` forward to :func:`run_sweep`."""
+    kwargs = dict(
+        predicates_per_subscription=panel.predicates_per_subscription,
+        subscription_counts=sweep_positions(panel, scale),
+        fulfilled_per_event=scale.fulfilled(panel.fulfilled_paper),
+        machine=machine_for(scale),
+        events_per_point=scale.events_per_point,
+        seed=scale.seed,
+    )
+    kwargs.update(overrides)
+    return run_sweep(**kwargs)
+
+
+def render_panel(
+    panel: Panel, scale: ScaleConfig, result: SweepResult, *, plot: bool = True
+) -> str:
+    """Text report for one panel: a data table and an ASCII plot."""
+    parts = [panel.title, "=" * len(panel.title)]
+    parts.append(
+        f"scale={scale.name}: subscriptions /{scale.subscription_divisor}, "
+        f"fulfilled /{scale.fulfilled_divisor} "
+        f"(=> {result.fulfilled_per_event} per event), "
+        f"memory budget {format_bytes(result.machine.available_bytes).strip()}"
+    )
+    headers = ["engine", "subscriptions", "stored", "time/event", "memory", "swap x"]
+    rows = []
+    for name, sweep in result.sweeps.items():
+        for point in sweep.points:
+            rows.append(
+                [
+                    name,
+                    f"{point.subscriptions:,}",
+                    f"{point.stored_subscriptions:,}",
+                    format_seconds(point.seconds),
+                    format_bytes(point.memory_bytes),
+                    f"{point.slowdown:5.1f}",
+                ]
+            )
+    parts.append(format_table(headers, rows))
+    if plot:
+        parts.append(
+            ascii_plot(
+                result.series_by_engine(),
+                x_label="registered subscriptions",
+                y_label="seconds per event (swap-adjusted)",
+                title=panel.title,
+            )
+        )
+    return "\n".join(parts)
+
+
+def render_table1() -> str:
+    """Paper Table 1 next to the scaled runtime parameter sets."""
+    parts = ["Table 1. Parameters in experiments (paper)"]
+    parts.append(
+        format_table(["Parameter", "Value"], PAPER_PARAMETERS.rows())
+    )
+    for scale in SCALES.values():
+        rows = [
+            ("subscription divisor", f"/{scale.subscription_divisor}"),
+            (
+                "number of subscriptions",
+                f"{scale.subscriptions(2_000):,} - "
+                f"{scale.subscriptions(5_000_000):,}",
+            ),
+            (
+                "matching predicates per event",
+                f"{scale.fulfilled(5_000):,} - {scale.fulfilled(10_000):,}",
+            ),
+            (
+                "memory budget",
+                format_bytes(machine_for(scale).available_bytes).strip(),
+            ),
+            ("events per sweep point", str(scale.events_per_point)),
+        ]
+        parts.append(f"Scaled parameters ({scale.name}):")
+        parts.append(format_table(["Parameter", "Value"], rows))
+    return "\n".join(parts)
+
+
+def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
+    """CLI entry point (``python -m repro.experiments.figure3``)."""
+    stream = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.figure3",
+        description="Reproduce paper Fig. 3 (and print Table 1).",
+    )
+    parser.add_argument(
+        "--panel",
+        default="all",
+        choices=[*PANELS.keys(), "all"],
+        help="which Fig. 3 panel to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=list(SCALES.keys()),
+        help="parameter scaling (quick: seconds; full: minutes)",
+    )
+    parser.add_argument(
+        "--table1", action="store_true", help="print Table 1 and exit"
+    )
+    parser.add_argument(
+        "--no-plot", action="store_true", help="tables only, no ASCII plots"
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.table1:
+        print(render_table1(), file=stream)
+        return 0
+    scale = SCALES[arguments.scale]
+    panel_ids = list(PANELS) if arguments.panel == "all" else [arguments.panel]
+    for panel_id in panel_ids:
+        panel = PANELS[panel_id]
+        result = run_panel(panel, scale)
+        print(
+            render_panel(panel, scale, result, plot=not arguments.no_plot),
+            file=stream,
+        )
+        print(file=stream)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

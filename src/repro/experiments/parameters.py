@@ -1,0 +1,135 @@
+"""Paper Table 1: the experiment parameters, and our scaled mapping.
+
+The paper's numbers target a 1.8 GHz / 512 MB C-era machine with up to
+five million registered subscriptions.  A pure-Python reproduction runs
+the same algorithms at proportionally scaled subscription counts; this
+module records both parameter sets side by side so every experiment can
+print exactly what it ran (and EXPERIMENTS.md can cite it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.model import MIB, SimulatedMachine
+
+
+@dataclass(frozen=True)
+class PaperParameters:
+    """Verbatim contents of paper Table 1."""
+
+    cpu_speed: str = "1.8 GHz"
+    total_machine_memory: str = "512 MB"
+    subscriptions: tuple[int, int] = (2_000, 5_000_000)
+    predicates_per_subscription: tuple[int, int] = (6, 10)
+    transformed_subscriptions_per_subscription: tuple[int, int] = (8, 32)
+    boolean_operators: tuple[str, ...] = ("AND", "OR")
+    matching_predicates_per_event: tuple[int, int] = (5_000, 10_000)
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Table rows in the paper's order."""
+        return [
+            ("CPU speed", self.cpu_speed),
+            ("Total machine memory", self.total_machine_memory),
+            (
+                "Number of subscriptions",
+                f"{self.subscriptions[0]:,} - {self.subscriptions[1]:,}",
+            ),
+            (
+                "Number of original (unique) predicates per subscription",
+                f"{self.predicates_per_subscription[0]} to "
+                f"{self.predicates_per_subscription[1]}",
+            ),
+            (
+                "Number of subscriptions per subscription after transformation",
+                f"{self.transformed_subscriptions_per_subscription[0]} to "
+                f"{self.transformed_subscriptions_per_subscription[1]}",
+            ),
+            ("Used Boolean operators", ", ".join(self.boolean_operators)),
+            (
+                "Matching predicates per event",
+                f"{self.matching_predicates_per_event[0]:,} - "
+                f"{self.matching_predicates_per_event[1]:,}",
+            ),
+        ]
+
+
+PAPER_PARAMETERS = PaperParameters()
+
+#: Available memory on the paper's machine after OS overhead — the
+#: default SimulatedMachine reproduces the bend positions of Fig. 3
+#: (~1.6 M transformed subscriptions at |p| = 8, §4.1).
+PAPER_AVAILABLE_BYTES = SimulatedMachine().available_bytes
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """How a run scales the paper's parameters down to Python speed.
+
+    Parameters
+    ----------
+    name:
+        ``"quick"`` (benchmark-suite friendly) or ``"full"`` (the
+        EXPERIMENTS.md numbers) or custom.
+    subscription_divisor:
+        Paper subscription counts are divided by this (sweep positions
+        and memory budget alike, so bend positions stay at the same
+        *relative* place on the x axis).
+    fulfilled_divisor:
+        Paper "matching predicates per event" are divided by this
+        (kept larger than the subscription divisor so each measurement
+        still does measurable work; DESIGN.md §3).
+    events_per_point:
+        Fulfilled-id sets sampled (and averaged over) per sweep point.
+    points_per_curve:
+        Sweep positions per panel.
+    """
+
+    name: str
+    subscription_divisor: int
+    fulfilled_divisor: int
+    events_per_point: int = 5
+    points_per_curve: int = 6
+    seed: int = 20050610  # ICDCS 2005 workshop date
+
+    def machine(self) -> SimulatedMachine:
+        """The paper's machine scaled by ``subscription_divisor``.
+
+        Memory scales with the subscription count, so dividing both keeps
+        the exhaustion point at the same fraction of the sweep.
+        """
+        scaled_total = max(int(512 * MIB / self.subscription_divisor), 64 * 1024)
+        scaled_reserved = max(int(96 * MIB / self.subscription_divisor), 12 * 1024)
+        return SimulatedMachine(
+            total_memory_bytes=scaled_total,
+            os_reserved_bytes=scaled_reserved,
+        )
+
+    def subscriptions(self, paper_count: int) -> int:
+        """Scale a paper subscription count."""
+        return max(paper_count // self.subscription_divisor, 50)
+
+    def fulfilled(self, paper_count: int) -> int:
+        """Scale a paper matching-predicates-per-event count."""
+        return max(paper_count // self.fulfilled_divisor, 10)
+
+
+#: Fast enough for the pytest-benchmark suite (seconds per panel).
+QUICK_SCALE = ScaleConfig(
+    name="quick",
+    subscription_divisor=1250,
+    fulfilled_divisor=125,
+    events_per_point=3,
+    points_per_curve=5,
+)
+
+#: The EXPERIMENTS.md numbers (minutes per panel).
+FULL_SCALE = ScaleConfig(
+    name="full",
+    subscription_divisor=250,
+    fulfilled_divisor=50,
+    events_per_point=5,
+    points_per_curve=8,
+)
+
+SCALES = {scale.name: scale for scale in (QUICK_SCALE, FULL_SCALE)}

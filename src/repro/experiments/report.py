@@ -1,0 +1,129 @@
+"""Plain-text rendering of experiment results: tables and ASCII plots.
+
+The paper presents line plots (Fig. 3) and a parameter table (Table 1);
+this module renders both shapes on a terminal so ``python -m
+repro.experiments.figure3`` output is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+Series = Sequence[tuple[float, float]]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A boxed, column-aligned text table."""
+    columns = [len(str(h)) for h in headers]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            columns[index] = max(columns[index], len(cell))
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (width + 2) for width in columns) + "+"
+    def render(cells: Sequence[str]) -> str:
+        padded = [
+            f" {cell}{' ' * (columns[i] - len(cell))} "
+            for i, cell in enumerate(cells)
+        ]
+        return "|" + "|".join(padded) + "|"
+    parts = [line("="), render([str(h) for h in headers]), line("=")]
+    for row in rendered_rows:
+        parts.append(render(row))
+    parts.append(line())
+    return "\n".join(parts)
+
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Series],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render multiple (x, y) series as a character-grid line plot.
+
+    Each series gets a marker from ``*o+x...``; a legend follows the
+    grid.  Axis ranges span all series jointly.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(min(ys), 0.0), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def locate(x: float, y: float) -> tuple[int, int]:
+        column = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        return row, column
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        ordered = sorted(values)
+        # draw straight segments between consecutive points
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(width // max(len(ordered) - 1, 1), 2)
+            for step in range(steps + 1):
+                t = step / steps
+                row, column = locate(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+                if grid[row][column] == " ":
+                    grid[row][column] = "."
+        for x, y in ordered:
+            row, column = locate(x, y)
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:.4g}".ljust(width - 8) + f"{x_max:.4g}"
+    lines.append(" " * (gutter + 1) + x_axis)
+    lines.append(" " * (gutter + 1) + f"[{x_label}]  vs  [{y_label}]")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable seconds with stable width for tables."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds:8.3f} s "
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:7.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

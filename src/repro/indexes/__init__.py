@@ -1,0 +1,23 @@
+"""One-dimensional predicate indexes (phase-1 matching)."""
+
+from .base import PredicateIndex
+from .bplus_tree import BPlusTree
+from .hash_index import EqualityIndex, ExistsIndex, MembershipIndex, NotEqualIndex
+from .interval_index import IntervalIndex
+from .manager import AttributeIndexes, IndexManager
+from .trie import ContainsScanList, PrefixTrie, SuffixTrie
+
+__all__ = [
+    "PredicateIndex",
+    "BPlusTree",
+    "EqualityIndex",
+    "ExistsIndex",
+    "MembershipIndex",
+    "NotEqualIndex",
+    "IntervalIndex",
+    "AttributeIndexes",
+    "IndexManager",
+    "ContainsScanList",
+    "PrefixTrie",
+    "SuffixTrie",
+]

@@ -1,0 +1,37 @@
+"""Common interface of the one-dimensional predicate indexes.
+
+Every index maps *predicate operands* to *predicate identifiers* and
+answers one question during phase-1 matching: given the value an event
+carries for an attribute, which predicate ids over that attribute are
+fulfilled?
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable
+
+
+class PredicateIndex(abc.ABC):
+    """Base class for operand-keyed predicate indexes."""
+
+    @abc.abstractmethod
+    def insert(self, operand: Any, predicate_id: int) -> None:
+        """Index ``predicate_id`` under ``operand``."""
+
+    @abc.abstractmethod
+    def remove(self, operand: Any, predicate_id: int) -> bool:
+        """Remove the pair; returns ``True`` when it existed."""
+
+    @abc.abstractmethod
+    def match(self, value: Any) -> Iterable[int]:
+        """Ids of predicates fulfilled by an event value ``value``."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed (operand, id) pairs."""
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the index holds no entries."""
+        return len(self) == 0

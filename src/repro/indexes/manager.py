@@ -1,0 +1,242 @@
+"""Phase-1 predicate matching: the per-attribute index manager.
+
+"In the first step of event filtering (predicate matching) all predicates
+matching an event e are determined ... accomplished by the application of
+one-dimensional index structures such as hash tables or B+ trees ...
+applied based on operators used in predicates" (paper §3.2).
+
+The :class:`IndexManager` owns one :class:`AttributeIndexes` bundle per
+attribute name; each bundle holds the operator-family structures that
+attribute's predicates need (created lazily).  ``match(event)`` walks the
+event's attributes once — "applying indexes means to evaluate each
+attribute only once" (§2.1) — and returns the full set of fulfilled
+predicate identifiers, which is the input every engine's phase 2
+consumes.
+
+All engines share this phase; the paper's comparison (and ours) is about
+what happens *after* it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..events.event import Event
+from ..predicates.operators import Operator
+from ..predicates.predicate import Predicate
+from .bplus_tree import BPlusTree
+from .hash_index import EqualityIndex, ExistsIndex, MembershipIndex, NotEqualIndex
+from .interval_index import IntervalIndex
+from .trie import ContainsScanList, PrefixTrie, SuffixTrie
+
+_NUMERIC = "numeric"
+_STRING = "string"
+
+
+def _domain(value) -> str:
+    """Order-comparison domain of an operand or event value."""
+    return _STRING if isinstance(value, str) else _NUMERIC
+
+
+class AttributeIndexes:
+    """All index structures for one attribute, created on first use."""
+
+    __slots__ = (
+        "equality", "not_equal", "membership", "exists",
+        "order_trees", "intervals", "prefix", "suffix", "contains",
+    )
+
+    def __init__(self) -> None:
+        self.equality: EqualityIndex | None = None
+        self.not_equal: NotEqualIndex | None = None
+        self.membership: MembershipIndex | None = None
+        self.exists: ExistsIndex | None = None
+        #: {(operator, domain): BPlusTree} for LT/LE/GT/GE predicates
+        self.order_trees: dict[tuple[Operator, str], BPlusTree] = {}
+        #: {domain: IntervalIndex} for BETWEEN predicates
+        self.intervals: dict[str, IntervalIndex] = {}
+        self.prefix: PrefixTrie | None = None
+        self.suffix: SuffixTrie | None = None
+        self.contains: ContainsScanList | None = None
+
+    def is_empty(self) -> bool:
+        """Whether every structure is absent or empty."""
+        simple = (
+            self.equality, self.not_equal, self.membership, self.exists,
+            self.prefix, self.suffix, self.contains,
+        )
+        if any(index is not None and len(index) > 0 for index in simple):
+            return False
+        if any(len(tree) > 0 for tree in self.order_trees.values()):
+            return False
+        return all(len(iv) == 0 for iv in self.intervals.values())
+
+
+class IndexManager:
+    """Registers predicates into per-attribute indexes and matches events."""
+
+    def __init__(self, *, btree_order: int = 64) -> None:
+        if btree_order < 3:
+            raise ValueError("btree_order must be at least 3")
+        self._btree_order = btree_order
+        self._attributes: dict[str, AttributeIndexes] = {}
+        self._registered: dict[int, Predicate] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add(self, predicate: Predicate, predicate_id: int) -> None:
+        """Index ``predicate`` under ``predicate_id``.
+
+        Idempotent per id: re-adding an id already indexed is a no-op
+        (predicates are shared across subscriptions and refcounted by the
+        registry; the index holds each live predicate exactly once).
+        """
+        if predicate_id in self._registered:
+            return
+        bundle = self._attributes.setdefault(predicate.attribute, AttributeIndexes())
+        operator = predicate.operator
+        if operator is Operator.EQ:
+            if bundle.equality is None:
+                bundle.equality = EqualityIndex()
+            bundle.equality.insert(predicate.value, predicate_id)
+        elif operator is Operator.NE:
+            if bundle.not_equal is None:
+                bundle.not_equal = NotEqualIndex()
+            bundle.not_equal.insert(predicate.value, predicate_id)
+        elif operator is Operator.IN:
+            if bundle.membership is None:
+                bundle.membership = MembershipIndex()
+            bundle.membership.insert(predicate.value, predicate_id)
+        elif operator is Operator.EXISTS:
+            if bundle.exists is None:
+                bundle.exists = ExistsIndex()
+            bundle.exists.insert(None, predicate_id)
+        elif operator in (Operator.LT, Operator.LE, Operator.GT, Operator.GE):
+            key = (operator, _domain(predicate.value))
+            tree = bundle.order_trees.get(key)
+            if tree is None:
+                tree = BPlusTree(order=self._btree_order)
+                bundle.order_trees[key] = tree
+            tree.insert(predicate.value, predicate_id)
+        elif operator is Operator.BETWEEN:
+            domain = _domain(predicate.value[0])
+            index = bundle.intervals.get(domain)
+            if index is None:
+                index = IntervalIndex()
+                bundle.intervals[domain] = index
+            index.insert(predicate.value, predicate_id)
+        elif operator is Operator.PREFIX:
+            if bundle.prefix is None:
+                bundle.prefix = PrefixTrie()
+            bundle.prefix.insert(predicate.value, predicate_id)
+        elif operator is Operator.SUFFIX:
+            if bundle.suffix is None:
+                bundle.suffix = SuffixTrie()
+            bundle.suffix.insert(predicate.value, predicate_id)
+        elif operator is Operator.CONTAINS:
+            if bundle.contains is None:
+                bundle.contains = ContainsScanList()
+            bundle.contains.insert(predicate.value, predicate_id)
+        else:  # pragma: no cover - exhaustive over Operator
+            raise NotImplementedError(operator)
+        self._registered[predicate_id] = predicate
+
+    def remove(self, predicate_id: int) -> bool:
+        """Drop ``predicate_id`` from its index; returns ``True`` if present."""
+        predicate = self._registered.pop(predicate_id, None)
+        if predicate is None:
+            return False
+        bundle = self._attributes[predicate.attribute]
+        operator = predicate.operator
+        if operator is Operator.EQ:
+            bundle.equality.remove(predicate.value, predicate_id)
+        elif operator is Operator.NE:
+            bundle.not_equal.remove(predicate.value, predicate_id)
+        elif operator is Operator.IN:
+            bundle.membership.remove(predicate.value, predicate_id)
+        elif operator is Operator.EXISTS:
+            bundle.exists.remove(None, predicate_id)
+        elif operator in (Operator.LT, Operator.LE, Operator.GT, Operator.GE):
+            key = (operator, _domain(predicate.value))
+            bundle.order_trees[key].remove(predicate.value, predicate_id)
+        elif operator is Operator.BETWEEN:
+            domain = _domain(predicate.value[0])
+            bundle.intervals[domain].remove(predicate.value, predicate_id)
+        elif operator is Operator.PREFIX:
+            bundle.prefix.remove(predicate.value, predicate_id)
+        elif operator is Operator.SUFFIX:
+            bundle.suffix.remove(predicate.value, predicate_id)
+        elif operator is Operator.CONTAINS:
+            bundle.contains.remove(predicate.value, predicate_id)
+        if bundle.is_empty():
+            del self._attributes[predicate.attribute]
+        return True
+
+    # ------------------------------------------------------------------
+    # matching (phase 1)
+    # ------------------------------------------------------------------
+    def match(self, event: Event) -> set[int]:
+        """All predicate ids fulfilled by ``event`` — the phase-1 output."""
+        fulfilled: set[int] = set()
+        for attribute, value in event.items():
+            bundle = self._attributes.get(attribute)
+            if bundle is None:
+                continue
+            self._match_attribute(bundle, value, fulfilled)
+        return fulfilled
+
+    def _match_attribute(
+        self, bundle: AttributeIndexes, value, fulfilled: set[int]
+    ) -> None:
+        is_bool = isinstance(value, bool)
+        if bundle.equality is not None:
+            fulfilled.update(bundle.equality.match(value))
+        if bundle.not_equal is not None:
+            fulfilled.update(bundle.not_equal.match(value))
+        if bundle.membership is not None:
+            fulfilled.update(bundle.membership.match(value))
+        if bundle.exists is not None:
+            fulfilled.update(bundle.exists.match(value))
+        if not is_bool:
+            domain = _domain(value)
+            # attr < v fulfilled iff v > value: scan (value, +inf); similarly
+            # for the other comparison operators.
+            scans = (
+                (Operator.LT, dict(low=value, include_low=False)),
+                (Operator.LE, dict(low=value, include_low=True)),
+                (Operator.GT, dict(high=value, include_high=False)),
+                (Operator.GE, dict(high=value, include_high=True)),
+            )
+            for operator, bounds in scans:
+                tree = bundle.order_trees.get((operator, domain))
+                if tree is not None:
+                    fulfilled.update(tree.range_ids(**bounds))
+            interval_index = bundle.intervals.get(domain)
+            if interval_index is not None:
+                fulfilled.update(interval_index.match(value))
+        if isinstance(value, str):
+            if bundle.prefix is not None:
+                fulfilled.update(bundle.prefix.match(value))
+            if bundle.suffix is not None:
+                fulfilled.update(bundle.suffix.match(value))
+            if bundle.contains is not None:
+                fulfilled.update(bundle.contains.match(value))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of indexed predicates."""
+        return len(self._registered)
+
+    def __contains__(self, predicate_id: int) -> bool:
+        return predicate_id in self._registered
+
+    def attributes(self) -> Iterator[str]:
+        """Attribute names with at least one indexed predicate."""
+        return iter(self._attributes)
+
+    def predicate(self, predicate_id: int) -> Predicate:
+        """The predicate indexed under ``predicate_id``."""
+        return self._registered[predicate_id]

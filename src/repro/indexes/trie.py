@@ -1,0 +1,135 @@
+"""String predicate indexes: tries for prefix/suffix, a scan list for contains.
+
+A prefix predicate ``attr prefix 'abc'`` is fulfilled by event value
+``v`` iff ``'abc'`` is a prefix of ``v``.  Storing all prefix operands in
+a character trie answers the question for *all* prefix predicates in one
+walk of ``v``: every trie node visited along ``v``'s characters whose
+path spells a complete operand contributes its predicate ids.
+
+Suffix predicates use the same structure over reversed strings.
+``contains`` has no sublinear one-dimensional index without heavier
+machinery (suffix automata); a scan list is honest about that cost and
+keeps the engine comparison fair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .base import PredicateIndex
+
+
+class _TrieNode:
+    __slots__ = ("children", "ids")
+
+    def __init__(self) -> None:
+        self.children: dict[str, "_TrieNode"] = {}
+        self.ids: set[int] = set()
+
+
+class PrefixTrie(PredicateIndex):
+    """Character trie over prefix operands.
+
+    ``match(value)`` returns the ids of every indexed operand that is a
+    prefix of ``value`` — a single O(len(value)) walk.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._entries = 0
+
+    def insert(self, operand: Any, predicate_id: int) -> None:
+        node = self._root
+        for char in operand:
+            node = node.children.setdefault(char, _TrieNode())
+        if predicate_id not in node.ids:
+            node.ids.add(predicate_id)
+            self._entries += 1
+
+    def remove(self, operand: Any, predicate_id: int) -> bool:
+        path: list[tuple[_TrieNode, str]] = []
+        node = self._root
+        for char in operand:
+            child = node.children.get(char)
+            if child is None:
+                return False
+            path.append((node, char))
+            node = child
+        if predicate_id not in node.ids:
+            return False
+        node.ids.discard(predicate_id)
+        self._entries -= 1
+        # prune now-empty branches bottom-up
+        for parent, char in reversed(path):
+            child = parent.children[char]
+            if child.ids or child.children:
+                break
+            del parent.children[char]
+        return True
+
+    def match(self, value: Any) -> Iterator[int]:
+        if not isinstance(value, str):
+            return
+        node = self._root
+        yield from node.ids  # the empty prefix matches everything
+        for char in value:
+            node = node.children.get(char)
+            if node is None:
+                return
+            yield from node.ids
+
+    def __len__(self) -> int:
+        return self._entries
+
+
+class SuffixTrie(PredicateIndex):
+    """Suffix predicates via a :class:`PrefixTrie` over reversed strings."""
+
+    def __init__(self) -> None:
+        self._trie = PrefixTrie()
+
+    def insert(self, operand: Any, predicate_id: int) -> None:
+        self._trie.insert(operand[::-1], predicate_id)
+
+    def remove(self, operand: Any, predicate_id: int) -> bool:
+        return self._trie.remove(operand[::-1], predicate_id)
+
+    def match(self, value: Any) -> Iterable[int]:
+        if not isinstance(value, str):
+            return ()
+        return self._trie.match(value[::-1])
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+
+class ContainsScanList(PredicateIndex):
+    """Substring predicates, answered by scanning all operands.
+
+    Deliberately linear — documenting that ``contains`` falls outside
+    what one-dimensional indexes accelerate (paper §2.1's trade-off
+    discussion).
+    """
+
+    def __init__(self) -> None:
+        self._operands: dict[int, str] = {}
+
+    def insert(self, operand: Any, predicate_id: int) -> None:
+        self._operands[predicate_id] = operand
+
+    def remove(self, operand: Any, predicate_id: int) -> bool:
+        stored = self._operands.get(predicate_id)
+        if stored is None or stored != operand:
+            return False
+        del self._operands[predicate_id]
+        return True
+
+    def match(self, value: Any) -> Iterator[int]:
+        if not isinstance(value, str):
+            return
+        for predicate_id, needle in self._operands.items():
+            if needle in value:
+                yield predicate_id
+
+    def __len__(self) -> int:
+        return len(self._operands)

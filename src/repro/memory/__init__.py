@@ -1,0 +1,27 @@
+"""Memory accounting: cost model, simulated machine, closed-form analysis."""
+
+from .analysis import (
+    PaperWorkloadShape,
+    capacity,
+    capacity_ratio,
+    counting_bytes,
+    noncanonical_bytes,
+    noncanonical_tree_bytes,
+)
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .model import KIB, MIB, PAPER_MACHINE, SimulatedMachine
+
+__all__ = [
+    "PaperWorkloadShape",
+    "capacity",
+    "capacity_ratio",
+    "counting_bytes",
+    "noncanonical_bytes",
+    "noncanonical_tree_bytes",
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "KIB",
+    "MIB",
+    "PAPER_MACHINE",
+    "SimulatedMachine",
+]

@@ -1,0 +1,154 @@
+"""Closed-form memory models of the filtering engines.
+
+"In the future we want to theoretically investigate memory consumptions
+of different filtering algorithms" (paper §5).  This module is that
+analysis for the paper's evaluation workload, and the test suite
+cross-checks every formula against the byte counts the engines actually
+report — the models are *exact*, not asymptotic.
+
+Workload recap (paper §4): each original subscription has ``|p| = 2k``
+unique predicates arranged as an AND of ``k`` binary ORs; DNF expands it
+into ``2**k`` clauses of ``k`` predicates each; predicates are unshared
+between subscriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class PaperWorkloadShape:
+    """The subscription shape of the paper's experiments.
+
+    Parameters
+    ----------
+    predicates_per_subscription:
+        The paper's ``|p|``; must be even (``|p| = 2k``).
+    """
+
+    predicates_per_subscription: int
+
+    def __post_init__(self) -> None:
+        if self.predicates_per_subscription < 2:
+            raise ValueError("need at least two predicates")
+        if self.predicates_per_subscription % 2:
+            raise ValueError(
+                "the paper's workload uses an even predicate count (|p| = 2k)"
+            )
+
+    @property
+    def k(self) -> int:
+        """Number of binary OR groups (``|p| / 2``)."""
+        return self.predicates_per_subscription // 2
+
+    @property
+    def dnf_clauses_per_subscription(self) -> int:
+        """``2**(|p|/2)`` — paper §4."""
+        return 2 ** self.k
+
+    @property
+    def predicates_per_clause(self) -> int:
+        """``|p|/2`` — paper §4."""
+        return self.k
+
+
+def noncanonical_tree_bytes(
+    shape: PaperWorkloadShape, model: CostModel = DEFAULT_COST_MODEL
+) -> int:
+    """Encoded size of one subscription tree under the basic codec.
+
+    The tree is an AND with ``k`` OR children, each OR holding two
+    predicate leaves: the root costs ``2 + 2k`` header bytes, each OR
+    child ``2 + 2*2`` header bytes plus two 4-byte leaves.
+    """
+    k = shape.k
+    header = model.operator_bytes + model.child_count_bytes
+    root = header + k * model.child_width_bytes
+    or_node = (
+        header
+        + 2 * model.child_width_bytes
+        + 2 * model.predicate_id_bytes
+    )
+    return root + k * or_node
+
+
+def noncanonical_bytes(
+    subscriptions: int,
+    shape: PaperWorkloadShape,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> int:
+    """Total phase-2 bytes of the non-canonical engine.
+
+    Trees + association table (unique predicates: one table entry and
+    one subscription reference per predicate) + location table.
+    """
+    predicates = subscriptions * shape.predicates_per_subscription
+    trees = subscriptions * noncanonical_tree_bytes(shape, model)
+    association = model.association_table_bytes(predicates, predicates)
+    location = model.location_table_bytes(subscriptions)
+    return trees + association + location
+
+
+def counting_bytes(
+    subscriptions: int,
+    shape: PaperWorkloadShape,
+    model: CostModel = DEFAULT_COST_MODEL,
+    *,
+    support_unsubscription: bool = False,
+) -> int:
+    """Total phase-2 bytes of the counting engine (either variant).
+
+    After transformation there are ``N * 2**k`` clauses; each original
+    predicate participates in half of its subscription's clauses
+    (``2**(k-1)``), which is what multiplies the association table.
+    """
+    clauses = subscriptions * shape.dnf_clauses_per_subscription
+    predicates = subscriptions * shape.predicates_per_subscription
+    clause_references = subscriptions * shape.k * shape.dnf_clauses_per_subscription
+    total = (
+        model.bit_vector_bytes(predicates)
+        + model.vector_bytes(clauses)          # hit vector
+        + model.vector_bytes(clauses)          # count vector
+        + clauses * model.subscription_id_bytes  # clause -> original id
+        + model.association_table_bytes(predicates, clause_references)
+    )
+    if support_unsubscription:
+        per_clause = model.subscription_id_bytes
+        per_reference = model.predicate_id_bytes
+        total += clauses * per_clause + clause_references * per_reference
+    return total
+
+
+def capacity(
+    budget_bytes: int,
+    shape: PaperWorkloadShape,
+    engine: str,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> int:
+    """Largest subscription count whose phase-2 bytes fit the budget.
+
+    Both models are linear in N, so this is a straight division; the
+    paper's §4.1 claim — the non-canonical engine "easily handles more
+    than 4 times as many subscriptions" at ``|p| = 10`` — is
+    ``capacity(B, shape, "non-canonical") / capacity(B, shape, "counting")``.
+    """
+    if engine == "non-canonical":
+        per_subscription = noncanonical_bytes(1, shape, model)
+    elif engine == "counting":
+        per_subscription = counting_bytes(1, shape, model)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    return budget_bytes // per_subscription
+
+
+def capacity_ratio(
+    shape: PaperWorkloadShape, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """How many times more subscriptions the non-canonical engine holds.
+
+    Budget-independent (both costs are linear in N).
+    """
+    return counting_bytes(1, shape, model) / noncanonical_bytes(1, shape, model)

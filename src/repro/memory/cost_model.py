@@ -1,0 +1,72 @@
+"""Byte-cost model for engine data structures.
+
+The paper's scalability argument is about *bytes*: "filtering algorithms
+are designed as pure main memory solutions, hence their scalability
+depends on available resources" (§1).  To compare engines independently
+of CPython's object overhead (which would swamp the comparison and is an
+artifact of the host language, not the algorithms), every engine reports
+its memory consumption under the **paper's own cost model**:
+
+* Boolean operator: 1 byte; child count: 1 byte; child width: 2 bytes;
+  predicate identifier: 4 bytes (§3.3 — the basic encoding);
+* hit vector and subscription-predicate count vector: 1 byte per
+  (transformed) subscription, assuming at most 256 predicates per
+  subscription (§3.3, following [2]);
+* predicate bit vector: 1 bit per registered predicate;
+* association/location table entries: 4-byte identifiers and 4-byte
+  memory addresses.
+
+The :class:`CostModel` centralizes these constants so the analytic
+models in :mod:`repro.memory.analysis`, the engines' reported breakdowns
+and the simulated machine all agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-field byte costs used by all memory accounting."""
+
+    operator_bytes: int = 1
+    child_count_bytes: int = 1
+    child_width_bytes: int = 2
+    predicate_id_bytes: int = 4
+    subscription_id_bytes: int = 4
+    pointer_bytes: int = 4          # loc(s) memory addresses
+    counter_bytes: int = 1          # hit / count vector entries
+    table_entry_overhead_bytes: int = 4  # per hash-table slot bookkeeping
+
+    def association_table_bytes(
+        self, predicate_count: int, reference_count: int
+    ) -> int:
+        """Size of a predicate→subscriptions association table.
+
+        One keyed entry per predicate plus one subscription id per
+        (predicate, subscription) reference.
+        """
+        keys = predicate_count * (
+            self.predicate_id_bytes + self.table_entry_overhead_bytes
+        )
+        return keys + reference_count * self.subscription_id_bytes
+
+    def location_table_bytes(self, subscription_count: int) -> int:
+        """Size of the id(s) → loc(s) subscription location table."""
+        return subscription_count * (
+            self.subscription_id_bytes
+            + self.pointer_bytes
+            + self.table_entry_overhead_bytes
+        )
+
+    def vector_bytes(self, entries: int) -> int:
+        """Size of a 1-byte-per-entry vector (hit / count vectors)."""
+        return entries * self.counter_bytes
+
+    def bit_vector_bytes(self, entries: int) -> int:
+        """Size of a 1-bit-per-entry vector (predicate bit vector)."""
+        return (entries + 7) // 8
+
+
+DEFAULT_COST_MODEL = CostModel()

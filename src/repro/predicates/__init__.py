@@ -1,0 +1,15 @@
+"""Predicate language: attribute-operator-value triples and their registry."""
+
+from .operators import IndexFamily, Operator, OperatorArity
+from .predicate import InvalidPredicateError, Predicate
+from .registry import PredicateRegistry, UnknownPredicateError
+
+__all__ = [
+    "IndexFamily",
+    "Operator",
+    "OperatorArity",
+    "InvalidPredicateError",
+    "Predicate",
+    "PredicateRegistry",
+    "UnknownPredicateError",
+]

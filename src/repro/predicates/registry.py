@@ -1,0 +1,112 @@
+"""Predicate registry: structural deduplication and identifier assignment.
+
+The engines never handle :class:`~repro.predicates.predicate.Predicate`
+objects during matching — they work with dense integer identifiers
+``id(p)`` (paper §3.1).  The registry is the single authority mapping
+predicates to identifiers.  Structurally identical predicates registered
+by different subscriptions share one identifier; a reference count tracks
+how many subscriptions use each predicate so unsubscription can retire
+identifiers that are no longer needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .predicate import Predicate
+
+
+class UnknownPredicateError(KeyError):
+    """Raised when an identifier or predicate is not in the registry."""
+
+
+class PredicateRegistry:
+    """Assigns dense integer identifiers to predicates.
+
+    Identifiers start at 1 (identifier 0 is reserved as a sentinel in the
+    byte-level subscription encoding) and retired identifiers are recycled
+    so identifier space stays dense under churn.
+
+    Example
+    -------
+    >>> registry = PredicateRegistry()
+    >>> p = Predicate("price", Operator.GT, 10)
+    >>> pid = registry.register(p)
+    >>> registry.register(Predicate("price", Operator.GT, 10)) == pid
+    True
+    >>> registry.predicate(pid) is not None
+    True
+    """
+
+    def __init__(self) -> None:
+        self._by_predicate: dict[Predicate, int] = {}
+        self._by_id: dict[int, Predicate] = {}
+        self._refcounts: dict[int, int] = {}
+        self._next_id = 1
+        self._free_ids: list[int] = []
+
+    def register(self, predicate: Predicate) -> int:
+        """Register ``predicate`` (or bump its refcount) and return its id."""
+        existing = self._by_predicate.get(predicate)
+        if existing is not None:
+            self._refcounts[existing] += 1
+            return existing
+        pid = self._free_ids.pop() if self._free_ids else self._allocate()
+        self._by_predicate[predicate] = pid
+        self._by_id[pid] = predicate
+        self._refcounts[pid] = 1
+        return pid
+
+    def _allocate(self) -> int:
+        pid = self._next_id
+        self._next_id += 1
+        return pid
+
+    def release(self, predicate_id: int) -> bool:
+        """Drop one reference to ``predicate_id``.
+
+        Returns
+        -------
+        bool
+            ``True`` when the predicate was retired (refcount reached
+            zero) — callers must then remove it from their indexes.
+        """
+        if predicate_id not in self._by_id:
+            raise UnknownPredicateError(predicate_id)
+        self._refcounts[predicate_id] -= 1
+        if self._refcounts[predicate_id] > 0:
+            return False
+        predicate = self._by_id.pop(predicate_id)
+        del self._by_predicate[predicate]
+        del self._refcounts[predicate_id]
+        self._free_ids.append(predicate_id)
+        return True
+
+    def predicate(self, predicate_id: int) -> Predicate:
+        """Return the predicate registered under ``predicate_id``."""
+        try:
+            return self._by_id[predicate_id]
+        except KeyError:
+            raise UnknownPredicateError(predicate_id) from None
+
+    def identifier(self, predicate: Predicate) -> int:
+        """Return the id of a registered predicate."""
+        try:
+            return self._by_predicate[predicate]
+        except KeyError:
+            raise UnknownPredicateError(predicate) from None
+
+    def refcount(self, predicate_id: int) -> int:
+        """How many registrations currently reference ``predicate_id``."""
+        if predicate_id not in self._refcounts:
+            raise UnknownPredicateError(predicate_id)
+        return self._refcounts[predicate_id]
+
+    def __contains__(self, predicate: Predicate) -> bool:
+        return predicate in self._by_predicate
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[tuple[int, Predicate]]:
+        return iter(self._by_id.items())

@@ -1,0 +1,97 @@
+"""Subscription language: AST, parser, normal forms, trees and codecs."""
+
+from .ast import (
+    And,
+    BooleanExpression,
+    Not,
+    Or,
+    PredicateLeaf,
+    conjunction,
+    disjunction,
+    leaf,
+)
+from .covering import (
+    clause_covers,
+    covers,
+    predicate_covers,
+    prune_covered,
+)
+from .compiler import (
+    MODE_ANY,
+    MODE_CLOSURE,
+    MODE_DNF,
+    MODE_GROUPS,
+    compile_tree,
+    evaluate_compiled,
+)
+from .encoding import (
+    CODECS,
+    BasicTreeCodec,
+    CorruptEncodingError,
+    EncodingError,
+    TreeArena,
+    VarintTreeCodec,
+)
+from .normal_forms import (
+    Clause,
+    DisjunctiveNormalForm,
+    DnfExplosionError,
+    Literal,
+    dnf_clause_count,
+    dnf_literal_count,
+    to_cnf,
+    to_dnf,
+    to_nnf,
+    transformation_blowup,
+)
+from .parser import SubscriptionSyntaxError, parse
+from .simplify import is_conjunctive, is_dnf_shaped, simplify
+from .subscription import Subscription, next_subscription_id
+from .tree import NodeKind, SubscriptionTree, TreeNode
+
+__all__ = [
+    "And",
+    "BooleanExpression",
+    "Not",
+    "Or",
+    "PredicateLeaf",
+    "conjunction",
+    "disjunction",
+    "leaf",
+    "clause_covers",
+    "covers",
+    "predicate_covers",
+    "prune_covered",
+    "MODE_ANY",
+    "MODE_CLOSURE",
+    "MODE_DNF",
+    "MODE_GROUPS",
+    "compile_tree",
+    "evaluate_compiled",
+    "CODECS",
+    "BasicTreeCodec",
+    "CorruptEncodingError",
+    "EncodingError",
+    "TreeArena",
+    "VarintTreeCodec",
+    "Clause",
+    "DisjunctiveNormalForm",
+    "DnfExplosionError",
+    "Literal",
+    "dnf_clause_count",
+    "dnf_literal_count",
+    "to_cnf",
+    "to_dnf",
+    "to_nnf",
+    "transformation_blowup",
+    "SubscriptionSyntaxError",
+    "parse",
+    "is_conjunctive",
+    "is_dnf_shaped",
+    "simplify",
+    "Subscription",
+    "next_subscription_id",
+    "NodeKind",
+    "SubscriptionTree",
+    "TreeNode",
+]

@@ -1,0 +1,259 @@
+"""Boolean expression AST for subscriptions.
+
+A subscription is an arbitrary Boolean expression over predicates using
+AND, OR and NOT (paper §3.1).  This module defines the expression nodes,
+evaluation (both against events and against sets of fulfilled predicate
+ids), and the flattening step that turns binary operator chains into the
+compacted n-ary form the subscription trees use.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import AbstractSet, Callable, Iterator, Sequence
+
+from ..events.event import Event
+from ..predicates.predicate import Predicate
+
+
+class BooleanExpression(abc.ABC):
+    """Base class of all subscription expression nodes.
+
+    Expressions are immutable; transformation methods return new trees.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def evaluate(self, fulfilled: Callable[[Predicate], bool]) -> bool:
+        """Evaluate with ``fulfilled`` deciding each predicate's truth."""
+
+    @abc.abstractmethod
+    def predicates(self) -> Iterator[Predicate]:
+        """Yield every predicate occurrence (duplicates included)."""
+
+    @abc.abstractmethod
+    def children(self) -> Sequence["BooleanExpression"]:
+        """Direct sub-expressions."""
+
+    @abc.abstractmethod
+    def flattened(self) -> "BooleanExpression":
+        """Collapse nested same-operator nodes into n-ary nodes.
+
+        ``(a AND (b AND c))`` becomes ``AND(a, b, c)``; this is the
+        "binary operators are treated as n-ary ones due to compacting
+        subscription trees" step of paper §3.1.
+        """
+
+    def matches(self, event: Event) -> bool:
+        """Evaluate this expression directly against an event."""
+        return self.evaluate(lambda p: p.matches(event))
+
+    def evaluate_with_ids(
+        self,
+        fulfilled_ids: AbstractSet[int],
+        identifier: Callable[[Predicate], int],
+    ) -> bool:
+        """Evaluate given the set of fulfilled predicate identifiers.
+
+        This mirrors phase 2 of the paper's filtering process: predicate
+        truth has already been established in phase 1 and is looked up,
+        not recomputed.
+        """
+        return self.evaluate(lambda p: identifier(p) in fulfilled_ids)
+
+    def unique_predicates(self) -> set[Predicate]:
+        """The set of distinct predicates appearing in the expression."""
+        return set(self.predicates())
+
+    def size(self) -> int:
+        """Total number of nodes (inner nodes + leaves)."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def depth(self) -> int:
+        """Height of the expression tree (a single leaf has depth 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.depth() for child in kids)
+
+    def __and__(self, other: "BooleanExpression") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "BooleanExpression") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class PredicateLeaf(BooleanExpression):
+    """A leaf node wrapping a single predicate."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Predicate) -> None:
+        if not isinstance(predicate, Predicate):
+            raise TypeError(f"expected Predicate, got {predicate!r}")
+        self.predicate = predicate
+
+    def evaluate(self, fulfilled: Callable[[Predicate], bool]) -> bool:
+        return fulfilled(self.predicate)
+
+    def predicates(self) -> Iterator[Predicate]:
+        yield self.predicate
+
+    def children(self) -> Sequence[BooleanExpression]:
+        return ()
+
+    def flattened(self) -> BooleanExpression:
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PredicateLeaf) and self.predicate == other.predicate
+
+    def __hash__(self) -> int:
+        return hash(("leaf", self.predicate))
+
+    def __repr__(self) -> str:
+        return f"PredicateLeaf({self.predicate})"
+
+    def __str__(self) -> str:
+        return str(self.predicate)
+
+
+class Not(BooleanExpression):
+    """Logical negation of a sub-expression."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: BooleanExpression) -> None:
+        _require_expression(child)
+        self.child = child
+
+    def evaluate(self, fulfilled: Callable[[Predicate], bool]) -> bool:
+        return not self.child.evaluate(fulfilled)
+
+    def predicates(self) -> Iterator[Predicate]:
+        yield from self.child.predicates()
+
+    def children(self) -> Sequence[BooleanExpression]:
+        return (self.child,)
+
+    def flattened(self) -> BooleanExpression:
+        inner = self.child.flattened()
+        if isinstance(inner, Not):  # double negation collapses structurally
+            return inner.child
+        return Not(inner)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("not", self.child))
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+    def __str__(self) -> str:
+        return f"not ({self.child})"
+
+
+class _NaryOperator(BooleanExpression):
+    """Shared implementation of the n-ary AND / OR nodes."""
+
+    __slots__ = ("operands",)
+
+    _NAME = ""
+    _IDENTITY = True  # evaluation result of the empty operand list
+
+    def __init__(self, operands: Sequence[BooleanExpression]) -> None:
+        operands = tuple(operands)
+        if len(operands) < 2:
+            raise ValueError(
+                f"{self._NAME} requires at least two operands, got {len(operands)}"
+            )
+        for operand in operands:
+            _require_expression(operand)
+        self.operands = operands
+
+    def predicates(self) -> Iterator[Predicate]:
+        for operand in self.operands:
+            yield from operand.predicates()
+
+    def children(self) -> Sequence[BooleanExpression]:
+        return self.operands
+
+    def flattened(self) -> BooleanExpression:
+        merged: list[BooleanExpression] = []
+        for operand in self.operands:
+            flat = operand.flattened()
+            if type(flat) is type(self):
+                merged.extend(flat.operands)  # type: ignore[attr-defined]
+            else:
+                merged.append(flat)
+        return type(self)(tuple(merged))
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((self._NAME, self.operands))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(o) for o in self.operands)
+        return f"{type(self).__name__}({inner})"
+
+    def __str__(self) -> str:
+        joiner = f" {self._NAME.lower()} "
+        return "(" + joiner.join(str(o) for o in self.operands) + ")"
+
+
+class And(_NaryOperator):
+    """N-ary conjunction."""
+
+    __slots__ = ()
+    _NAME = "AND"
+
+    def evaluate(self, fulfilled: Callable[[Predicate], bool]) -> bool:
+        return all(operand.evaluate(fulfilled) for operand in self.operands)
+
+
+class Or(_NaryOperator):
+    """N-ary disjunction."""
+
+    __slots__ = ()
+    _NAME = "OR"
+
+    def evaluate(self, fulfilled: Callable[[Predicate], bool]) -> bool:
+        return any(operand.evaluate(fulfilled) for operand in self.operands)
+
+
+def _require_expression(node: object) -> None:
+    if not isinstance(node, BooleanExpression):
+        raise TypeError(
+            f"expected a BooleanExpression, got {type(node).__name__}: {node!r}"
+        )
+
+
+def leaf(predicate: Predicate) -> PredicateLeaf:
+    """Convenience constructor for a predicate leaf."""
+    return PredicateLeaf(predicate)
+
+
+def conjunction(leaves: Sequence[BooleanExpression]) -> BooleanExpression:
+    """Build an AND over ``leaves``; a single operand passes through."""
+    if not leaves:
+        raise ValueError("conjunction requires at least one operand")
+    if len(leaves) == 1:
+        return leaves[0]
+    return And(tuple(leaves))
+
+
+def disjunction(leaves: Sequence[BooleanExpression]) -> BooleanExpression:
+    """Build an OR over ``leaves``; a single operand passes through."""
+    if not leaves:
+        raise ValueError("disjunction requires at least one operand")
+    if len(leaves) == 1:
+        return leaves[0]
+    return Or(tuple(leaves))

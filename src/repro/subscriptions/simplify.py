@@ -1,0 +1,113 @@
+"""Structural simplification of subscription expressions.
+
+The paper observes that pub/sub systems — unlike database query
+optimizers — "do not optimise subscriptions" (§2.2).  This module
+provides the cheap, semantics-preserving rewrites a broker can afford to
+run at registration time:
+
+* double-negation elimination: ``NOT NOT e`` → ``e``
+* operator flattening: ``a AND (b AND c)`` → ``AND(a, b, c)``
+* sibling deduplication (idempotence): ``a AND a`` → ``a``
+* absorption: ``a AND (a OR b)`` → ``a``; ``a OR (a AND b)`` → ``a``
+* single-operand collapse after the above
+
+All rewrites preserve the evaluation result for every truth assignment
+(checked by property-based tests).  Contradiction/tautology folding is
+deliberately *not* performed: the AST has no constant nodes, mirroring
+the engines, which simply evaluate such subscriptions at match time.
+"""
+
+from __future__ import annotations
+
+from .ast import And, BooleanExpression, Not, Or, PredicateLeaf
+
+
+def simplify(expression: BooleanExpression) -> BooleanExpression:
+    """Apply all rewrite rules until a fixed point is reached."""
+    current = expression
+    for _ in range(expression.size() + 1):  # each pass strictly shrinks
+        rewritten = _simplify_once(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def _simplify_once(node: BooleanExpression) -> BooleanExpression:
+    if isinstance(node, PredicateLeaf):
+        return node
+    if isinstance(node, Not):
+        inner = _simplify_once(node.child)
+        if isinstance(inner, Not):
+            return inner.child
+        return Not(inner)
+    if isinstance(node, (And, Or)):
+        return _simplify_nary(node)
+    raise TypeError(f"unexpected expression node {node!r}")
+
+
+def _simplify_nary(node: And | Or) -> BooleanExpression:
+    flat = node.flattened()
+    if isinstance(flat, PredicateLeaf) or isinstance(flat, Not):
+        return _simplify_once(flat)
+    assert isinstance(flat, (And, Or))
+    simplified_children = [_simplify_once(child) for child in flat.operands]
+
+    # Idempotence: keep the first occurrence of each distinct operand.
+    deduped: list[BooleanExpression] = []
+    seen: set[BooleanExpression] = set()
+    for child in simplified_children:
+        if child not in seen:
+            seen.add(child)
+            deduped.append(child)
+
+    absorbed = _absorb(deduped, type(flat))
+    if len(absorbed) == 1:
+        return absorbed[0]
+    result = type(flat)(tuple(absorbed))
+    return result.flattened()
+
+
+def _absorb(
+    operands: list[BooleanExpression], operator: type
+) -> list[BooleanExpression]:
+    """Apply the absorption law among sibling operands.
+
+    Under AND, an operand that is an OR containing another sibling as one
+    of its alternatives is redundant (and vice versa under OR).
+    """
+    dual = Or if operator is And else And
+    kept: list[BooleanExpression] = []
+    operand_set = set(operands)
+    for candidate in operands:
+        if isinstance(candidate, dual):
+            inner = set(candidate.operands)
+            # a AND (a OR b): some *other* sibling appears inside the dual.
+            if any(sibling in inner for sibling in operand_set if sibling != candidate):
+                continue
+        kept.append(candidate)
+    return kept if kept else operands
+
+
+def is_conjunctive(expression: BooleanExpression) -> bool:
+    """Whether the expression is a plain conjunction of positive predicates.
+
+    These are the only subscriptions classical engines accept natively
+    (paper §1) — anything else requires the canonical transformation.
+    """
+    flat = expression.flattened()
+    if isinstance(flat, PredicateLeaf):
+        return True
+    if isinstance(flat, And):
+        return all(isinstance(child, PredicateLeaf) for child in flat.operands)
+    return False
+
+
+def is_dnf_shaped(expression: BooleanExpression) -> bool:
+    """Whether the expression is already an OR of conjunctions of predicates."""
+    flat = expression.flattened()
+    if is_conjunctive(flat):
+        return True
+    if isinstance(flat, Or):
+        return all(is_conjunctive(child) for child in flat.operands)
+    return False

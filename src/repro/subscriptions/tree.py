@@ -1,0 +1,238 @@
+"""Compacted n-ary subscription trees.
+
+Internally, subscriptions are "compiled into subscription trees
+representing their Boolean expression and their predicates, i.e., inner
+nodes are marked with Boolean operators and leaf nodes represent
+predicates.  Binary operators are treated as n-ary ones due to compacting
+subscription trees.  Predicates p are represented by their identifiers
+id(p) instead of their filter operations." (paper §3.1)
+
+A :class:`SubscriptionTree` is therefore the bridge between the symbolic
+AST (:mod:`repro.subscriptions.ast`) and the byte-level storage
+(:mod:`repro.subscriptions.encoding`): leaves carry integer predicate
+identifiers, and evaluation consumes the *set of fulfilled predicate
+identifiers* produced by phase-1 predicate matching.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import AbstractSet, Callable, Iterator, Mapping, Sequence
+
+from ..predicates.predicate import Predicate
+from .ast import And, BooleanExpression, Not, Or, PredicateLeaf
+
+
+class NodeKind(enum.IntEnum):
+    """Tree node discriminator; values double as encoding opcodes."""
+
+    LEAF = 0
+    AND = 1
+    OR = 2
+    NOT = 3
+
+
+class TreeNode:
+    """A node of a compacted subscription tree.
+
+    Leaves have ``kind == NodeKind.LEAF`` and carry ``predicate_id``;
+    inner nodes carry ``children`` (n-ary for AND/OR, exactly one for
+    NOT).
+    """
+
+    __slots__ = ("kind", "predicate_id", "children")
+
+    def __init__(
+        self,
+        kind: NodeKind,
+        *,
+        predicate_id: int = 0,
+        children: Sequence["TreeNode"] = (),
+    ) -> None:
+        self.kind = kind
+        self.predicate_id = predicate_id
+        self.children = tuple(children)
+        if kind is NodeKind.LEAF:
+            if self.children:
+                raise ValueError("leaf nodes take no children")
+            if predicate_id <= 0:
+                raise ValueError("leaf nodes need a positive predicate id")
+        elif kind is NodeKind.NOT:
+            if len(self.children) != 1:
+                raise ValueError("NOT nodes take exactly one child")
+        else:
+            if len(self.children) < 2:
+                raise ValueError(f"{kind.name} nodes need at least two children")
+
+    def evaluate(self, fulfilled_ids: AbstractSet[int]) -> bool:
+        """Evaluate against the phase-1 output (fulfilled predicate ids)."""
+        if self.kind is NodeKind.LEAF:
+            return self.predicate_id in fulfilled_ids
+        if self.kind is NodeKind.AND:
+            return all(c.evaluate(fulfilled_ids) for c in self.children)
+        if self.kind is NodeKind.OR:
+            return any(c.evaluate(fulfilled_ids) for c in self.children)
+        return not self.children[0].evaluate(fulfilled_ids)
+
+    def predicate_ids(self) -> Iterator[int]:
+        """Yield every predicate id occurrence in the subtree."""
+        if self.kind is NodeKind.LEAF:
+            yield self.predicate_id
+            return
+        for child in self.children:
+            yield from child.predicate_ids()
+
+    def node_count(self) -> int:
+        """Number of nodes in the subtree."""
+        return 1 + sum(c.node_count() for c in self.children)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeNode):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.predicate_id == other.predicate_id
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.predicate_id, self.children))
+
+    def __repr__(self) -> str:
+        if self.kind is NodeKind.LEAF:
+            return f"Leaf({self.predicate_id})"
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{self.kind.name}({inner})"
+
+
+class SubscriptionTree:
+    """A compiled subscription: a compacted tree over predicate ids."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: TreeNode) -> None:
+        self.root = root
+
+    @classmethod
+    def from_expression(
+        cls,
+        expression: BooleanExpression,
+        identifier: Callable[[Predicate], int],
+    ) -> "SubscriptionTree":
+        """Compile an AST into a tree, resolving predicates to ids.
+
+        ``identifier`` is typically ``PredicateRegistry.register`` (at
+        registration time) or ``PredicateRegistry.identifier`` (for
+        read-only compilation).  The expression is flattened first so
+        binary operator chains become single n-ary nodes.
+        """
+        return cls(_compile(expression.flattened(), identifier))
+
+    def to_expression(
+        self, predicate_of: Callable[[int], Predicate]
+    ) -> BooleanExpression:
+        """Reconstruct the symbolic AST (for display or re-registration)."""
+        return _decompile(self.root, predicate_of)
+
+    def evaluate(self, fulfilled_ids: AbstractSet[int]) -> bool:
+        """Phase-2 evaluation against the fulfilled predicate id set."""
+        return self.root.evaluate(fulfilled_ids)
+
+    def predicate_ids(self) -> set[int]:
+        """Distinct predicate ids used by this subscription."""
+        return set(self.root.predicate_ids())
+
+    def node_count(self) -> int:
+        """Number of nodes in the tree."""
+        return self.root.node_count()
+
+    def reordered_by_selectivity(
+        self, selectivity: Mapping[int, float]
+    ) -> "SubscriptionTree":
+        """Reorder operator children to maximize short-circuiting.
+
+        ``selectivity[pid]`` is the probability that predicate ``pid`` is
+        fulfilled by an event.  Under AND, the child *least* likely to be
+        true goes first (fails fast); under OR, the child *most* likely to
+        be true goes first (succeeds fast).  This is the "reordering
+        subscription trees" optimization paper §3.2 leaves to future work;
+        ablation A3 measures it.
+        """
+        return SubscriptionTree(_reorder(self.root, selectivity))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SubscriptionTree) and self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash(self.root)
+
+    def __repr__(self) -> str:
+        return f"SubscriptionTree({self.root!r})"
+
+
+def _compile(
+    node: BooleanExpression, identifier: Callable[[Predicate], int]
+) -> TreeNode:
+    if isinstance(node, PredicateLeaf):
+        return TreeNode(NodeKind.LEAF, predicate_id=identifier(node.predicate))
+    if isinstance(node, Not):
+        return TreeNode(NodeKind.NOT, children=(_compile(node.child, identifier),))
+    if isinstance(node, And):
+        children = tuple(_compile(c, identifier) for c in node.operands)
+        return TreeNode(NodeKind.AND, children=children)
+    if isinstance(node, Or):
+        children = tuple(_compile(c, identifier) for c in node.operands)
+        return TreeNode(NodeKind.OR, children=children)
+    raise TypeError(f"unexpected expression node {node!r}")
+
+
+def _decompile(
+    node: TreeNode, predicate_of: Callable[[int], Predicate]
+) -> BooleanExpression:
+    if node.kind is NodeKind.LEAF:
+        return PredicateLeaf(predicate_of(node.predicate_id))
+    children = tuple(_decompile(c, predicate_of) for c in node.children)
+    if node.kind is NodeKind.NOT:
+        return Not(children[0])
+    if node.kind is NodeKind.AND:
+        return And(children)
+    return Or(children)
+
+
+def _truth_probability(node: TreeNode, selectivity: Mapping[int, float]) -> float:
+    """Estimated probability the subtree evaluates to true.
+
+    Assumes predicate independence — the standard estimate when no joint
+    statistics are available.
+    """
+    if node.kind is NodeKind.LEAF:
+        return selectivity.get(node.predicate_id, 0.5)
+    if node.kind is NodeKind.NOT:
+        return 1.0 - _truth_probability(node.children[0], selectivity)
+    probabilities = [_truth_probability(c, selectivity) for c in node.children]
+    if node.kind is NodeKind.AND:
+        product = 1.0
+        for p in probabilities:
+            product *= p
+        return product
+    complement = 1.0
+    for p in probabilities:
+        complement *= 1.0 - p
+    return 1.0 - complement
+
+
+def _reorder(node: TreeNode, selectivity: Mapping[int, float]) -> TreeNode:
+    if node.kind is NodeKind.LEAF:
+        return node
+    reordered_children = [_reorder(c, selectivity) for c in node.children]
+    if node.kind is NodeKind.AND:
+        reordered_children.sort(key=lambda c: _truth_probability(c, selectivity))
+    elif node.kind is NodeKind.OR:
+        reordered_children.sort(
+            key=lambda c: _truth_probability(c, selectivity), reverse=True
+        )
+    return TreeNode(
+        node.kind,
+        predicate_id=node.predicate_id,
+        children=tuple(reordered_children),
+    )

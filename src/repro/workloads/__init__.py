@@ -1,0 +1,41 @@
+"""Workload generation: paper-shaped subscriptions, events, scenarios."""
+
+from .distributions import (
+    make_rng,
+    sample_without_replacement,
+    zipf_choice,
+    zipf_weights,
+)
+from .generator import (
+    EventGenerator,
+    FulfilledPredicateSampler,
+    GeneralSubscriptionGenerator,
+    PaperSubscriptionGenerator,
+)
+from .scenarios import (
+    AUCTION_SCHEMA,
+    NEWS_SCHEMA,
+    STOCK_SCHEMA,
+    STOCK_SYMBOLS,
+    AuctionScenario,
+    NewsScenario,
+    StockScenario,
+)
+
+__all__ = [
+    "make_rng",
+    "sample_without_replacement",
+    "zipf_choice",
+    "zipf_weights",
+    "EventGenerator",
+    "FulfilledPredicateSampler",
+    "GeneralSubscriptionGenerator",
+    "PaperSubscriptionGenerator",
+    "AUCTION_SCHEMA",
+    "NEWS_SCHEMA",
+    "STOCK_SCHEMA",
+    "STOCK_SYMBOLS",
+    "AuctionScenario",
+    "NewsScenario",
+    "StockScenario",
+]

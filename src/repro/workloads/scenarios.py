@@ -1,0 +1,186 @@
+"""Domain scenarios for the example applications.
+
+The paper's introduction motivates filtering on "less equipped machines,
+such as laptops and mobile devices" in peer-to-peer settings.  These
+scenarios provide realistic schemas, subscription templates and event
+streams for three such domains:
+
+* **stock ticker** — trade events; subscriptions combine price bands,
+  symbols and volumes with real Boolean structure;
+* **auction monitor** — bid events; sniping/outbid alert subscriptions;
+* **news alerts** — headline events with string predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events.event import Event
+from ..events.schema import AttributeSpec, AttributeType, EventSchema
+from ..subscriptions.subscription import Subscription
+from .distributions import make_rng
+
+STOCK_SYMBOLS = (
+    "ACME", "GLOBEX", "INITECH", "UMBRELLA", "HOOLI",
+    "STARK", "WAYNE", "WONKA", "TYRELL", "CYBERDYNE",
+)
+
+STOCK_SCHEMA = EventSchema(
+    "trade",
+    [
+        AttributeSpec("symbol", AttributeType.STRING, required=True),
+        AttributeSpec("price", AttributeType.FLOAT, required=True),
+        AttributeSpec("volume", AttributeType.INT, required=True),
+        AttributeSpec("exchange", AttributeType.STRING),
+        AttributeSpec("halted", AttributeType.BOOL),
+    ],
+)
+
+AUCTION_SCHEMA = EventSchema(
+    "bid",
+    [
+        AttributeSpec("item", AttributeType.STRING, required=True),
+        AttributeSpec("bid", AttributeType.FLOAT, required=True),
+        AttributeSpec("bidder", AttributeType.STRING, required=True),
+        AttributeSpec("seconds_left", AttributeType.INT),
+    ],
+)
+
+NEWS_SCHEMA = EventSchema(
+    "headline",
+    [
+        AttributeSpec("source", AttributeType.STRING, required=True),
+        AttributeSpec("topic", AttributeType.STRING, required=True),
+        AttributeSpec("headline", AttributeType.STRING, required=True),
+        AttributeSpec("urgency", AttributeType.INT),
+    ],
+)
+
+
+@dataclass
+class StockScenario:
+    """Trade event stream and trader subscriptions."""
+
+    seed: int | None = 0
+    _rng: object = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+
+    def event(self) -> Event:
+        """One random trade conforming to :data:`STOCK_SCHEMA`."""
+        rng = self._rng
+        event = Event(
+            {
+                "symbol": rng.choice(STOCK_SYMBOLS),
+                "price": round(rng.uniform(1.0, 500.0), 2),
+                "volume": rng.randint(1, 50_000),
+                "exchange": rng.choice(("NYSE", "NASDAQ", "LSE")),
+                "halted": rng.random() < 0.01,
+            }
+        )
+        STOCK_SCHEMA.validate(event)
+        return event
+
+    def subscription(self, subscriber: str) -> Subscription:
+        """A trader's alert: a watchlist in the paper's AND-of-ORs shape.
+
+        "Either of my two symbols, crossing out of its band, on a large
+        or urgent print" — three OR-groups under one AND, the exact
+        non-DNF structure whose canonical transformation multiplies
+        (2 x 2 x 2 = 8 conjunctive clauses per alert).
+        """
+        rng = self._rng
+        first, second = self._rng.sample(STOCK_SYMBOLS, 2)
+        low = round(rng.uniform(10.0, 80.0), 2)
+        high = round(rng.uniform(300.0, 490.0), 2)
+        block = rng.randint(30_000, 48_000)
+        exchange = rng.choice(("NYSE", "NASDAQ", "LSE"))
+        text = (
+            f"(symbol = '{first}' or symbol = '{second}') "
+            f"and (price <= {low} or price >= {high}) "
+            f"and (volume >= {block} or exchange = '{exchange}')"
+        )
+        return Subscription.from_text(text, subscriber=subscriber)
+
+
+@dataclass
+class AuctionScenario:
+    """Bid event stream and sniping-alert subscriptions."""
+
+    seed: int | None = 0
+    items: tuple[str, ...] = (
+        "clock", "violin", "stamp", "comic", "lamp", "atlas", "coin", "mask",
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+
+    def event(self) -> Event:
+        """One random bid conforming to :data:`AUCTION_SCHEMA`."""
+        rng = self._rng
+        event = Event(
+            {
+                "item": rng.choice(self.items),
+                "bid": round(rng.uniform(1.0, 900.0), 2),
+                "bidder": f"user{rng.randint(1, 200):03d}",
+                "seconds_left": rng.randint(0, 3600),
+            }
+        )
+        AUCTION_SCHEMA.validate(event)
+        return event
+
+    def subscription(self, subscriber: str) -> Subscription:
+        """An outbid/sniping alert over one watched item."""
+        rng = self._rng
+        item = rng.choice(self.items)
+        ceiling = round(rng.uniform(50.0, 800.0), 2)
+        text = (
+            f"item = '{item}' and (bid > {ceiling} "
+            f"or (seconds_left < 120 and bid > {round(ceiling * 0.8, 2)}))"
+        )
+        return Subscription.from_text(text, subscriber=subscriber)
+
+
+@dataclass
+class NewsScenario:
+    """Headline stream with string-operator subscriptions."""
+
+    seed: int | None = 0
+    sources: tuple[str, ...] = ("reuters", "ap", "afp", "dpa")
+    topics: tuple[str, ...] = (
+        "markets", "politics", "science", "sports", "technology",
+    )
+    _words: tuple[str, ...] = (
+        "election", "merger", "quake", "launch", "discovery",
+        "strike", "record", "summit", "verdict", "rally",
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+
+    def event(self) -> Event:
+        """One random headline conforming to :data:`NEWS_SCHEMA`."""
+        rng = self._rng
+        words = [rng.choice(self._words) for _ in range(3)]
+        event = Event(
+            {
+                "source": rng.choice(self.sources),
+                "topic": rng.choice(self.topics),
+                "headline": " ".join(words),
+                "urgency": rng.randint(1, 5),
+            }
+        )
+        NEWS_SCHEMA.validate(event)
+        return event
+
+    def subscription(self, subscriber: str) -> Subscription:
+        """A keyword/topic alert with urgency escalation."""
+        rng = self._rng
+        topic = rng.choice(self.topics)
+        word = rng.choice(self._words)
+        text = (
+            f"(topic = '{topic}' and headline contains '{word}') "
+            f"or urgency >= 5"
+        )
+        return Subscription.from_text(text, subscriber=subscriber)

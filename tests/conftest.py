@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BruteForceEngine,
+    CountingEngine,
+    CountingVariantEngine,
+    NonCanonicalEngine,
+)
+from repro.indexes import IndexManager
+from repro.predicates import PredicateRegistry
+from repro.workloads import (
+    EventGenerator,
+    GeneralSubscriptionGenerator,
+    PaperSubscriptionGenerator,
+)
+
+
+@pytest.fixture
+def registry():
+    return PredicateRegistry()
+
+
+@pytest.fixture
+def indexes():
+    return IndexManager()
+
+
+def make_all_engines(*, shared=True, complement_operators=False):
+    """One engine of each kind, optionally sharing registry/indexes."""
+    if shared:
+        registry = PredicateRegistry()
+        indexes = IndexManager()
+        kwargs = dict(registry=registry, indexes=indexes)
+    else:
+        kwargs = {}
+    return [
+        NonCanonicalEngine(**kwargs),
+        NonCanonicalEngine(codec="varint", **kwargs),
+        NonCanonicalEngine(evaluation="encoded", **kwargs),
+        CountingEngine(
+            support_unsubscription=True,
+            complement_operators=complement_operators,
+            **kwargs,
+        ),
+        CountingVariantEngine(
+            complement_operators=complement_operators, **kwargs
+        ),
+        BruteForceEngine(**kwargs),
+    ]
+
+
+@pytest.fixture
+def all_engines():
+    return make_all_engines()
+
+
+@pytest.fixture
+def paper_generator():
+    return PaperSubscriptionGenerator(predicates_per_subscription=6, seed=7)
+
+
+@pytest.fixture
+def general_generator():
+    return GeneralSubscriptionGenerator(seed=7, allow_not=False)
+
+
+@pytest.fixture
+def event_generator():
+    return EventGenerator(seed=7)

@@ -1,0 +1,206 @@
+"""Unit tests for the Boolean expression AST (repro.subscriptions.ast)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.events import Event
+from repro.predicates import Operator, Predicate
+from repro.subscriptions import (
+    And,
+    Not,
+    Or,
+    PredicateLeaf,
+    conjunction,
+    disjunction,
+    leaf,
+)
+
+P1 = Predicate("a", Operator.GT, 10)
+P2 = Predicate("b", Operator.EQ, 1)
+P3 = Predicate("c", Operator.LT, 0)
+
+
+class TestConstruction:
+    def test_leaf_wraps_predicate(self):
+        node = PredicateLeaf(P1)
+        assert node.predicate == P1
+        assert node.children() == ()
+
+    def test_leaf_rejects_non_predicate(self):
+        with pytest.raises(TypeError):
+            PredicateLeaf("a > 10")
+
+    def test_nary_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            And((leaf(P1),))
+        with pytest.raises(ValueError):
+            Or(())
+
+    def test_nary_rejects_non_expressions(self):
+        with pytest.raises(TypeError):
+            And((leaf(P1), P2))
+
+    def test_not_single_child(self):
+        node = Not(leaf(P1))
+        assert node.children() == (leaf(P1),)
+
+    def test_operator_overloads(self):
+        expression = leaf(P1) & leaf(P2) | ~leaf(P3)
+        assert isinstance(expression, Or)
+        assert isinstance(expression.operands[0], And)
+        assert isinstance(expression.operands[1], Not)
+
+    def test_conjunction_helper_single_passthrough(self):
+        assert conjunction([leaf(P1)]) == leaf(P1)
+        assert isinstance(conjunction([leaf(P1), leaf(P2)]), And)
+
+    def test_disjunction_helper_single_passthrough(self):
+        assert disjunction([leaf(P1)]) == leaf(P1)
+        assert isinstance(disjunction([leaf(P1), leaf(P2)]), Or)
+
+    def test_helpers_reject_empty(self):
+        with pytest.raises(ValueError):
+            conjunction([])
+        with pytest.raises(ValueError):
+            disjunction([])
+
+
+class TestEvaluation:
+    def test_and_requires_all(self):
+        expression = And((leaf(P1), leaf(P2)))
+        assert expression.matches(Event({"a": 11, "b": 1}))
+        assert not expression.matches(Event({"a": 11, "b": 2}))
+
+    def test_or_requires_any(self):
+        expression = Or((leaf(P1), leaf(P2)))
+        assert expression.matches(Event({"a": 0, "b": 1}))
+        assert not expression.matches(Event({"a": 0, "b": 0}))
+
+    def test_not_inverts(self):
+        expression = Not(leaf(P1))
+        assert expression.matches(Event({"a": 5}))
+        assert not expression.matches(Event({"a": 11}))
+
+    def test_not_true_for_absent_attribute(self):
+        # a predicate over an absent attribute is unfulfilled, so its
+        # negation holds — the semantics DNF operator-flipping breaks
+        assert Not(leaf(P1)).matches(Event({"z": 1}))
+
+    def test_nested_evaluation(self):
+        expression = And((Or((leaf(P1), leaf(P2))), Not(leaf(P3))))
+        assert expression.matches(Event({"a": 11, "c": 5}))
+        assert not expression.matches(Event({"a": 11, "c": -1}))
+
+    def test_evaluate_with_ids(self):
+        expression = And((leaf(P1), leaf(P2)))
+        ids = {P1: 1, P2: 2}
+        assert expression.evaluate_with_ids({1, 2}, ids.__getitem__)
+        assert not expression.evaluate_with_ids({1}, ids.__getitem__)
+
+
+class TestStructure:
+    def test_predicates_yields_occurrences(self):
+        expression = And((leaf(P1), Or((leaf(P1), leaf(P2)))))
+        assert sorted(str(p) for p in expression.predicates()) == sorted(
+            [str(P1), str(P1), str(P2)]
+        )
+
+    def test_unique_predicates(self):
+        expression = And((leaf(P1), Or((leaf(P1), leaf(P2)))))
+        assert expression.unique_predicates() == {P1, P2}
+
+    def test_size_counts_all_nodes(self):
+        expression = And((leaf(P1), Or((leaf(P2), leaf(P3)))))
+        assert expression.size() == 5
+
+    def test_depth(self):
+        assert leaf(P1).depth() == 1
+        assert And((leaf(P1), leaf(P2))).depth() == 2
+        assert And((leaf(P1), Or((leaf(P2), leaf(P3))))).depth() == 3
+
+    def test_equality_is_structural(self):
+        assert And((leaf(P1), leaf(P2))) == And((leaf(P1), leaf(P2)))
+        assert And((leaf(P1), leaf(P2))) != And((leaf(P2), leaf(P1)))
+        assert And((leaf(P1), leaf(P2))) != Or((leaf(P1), leaf(P2)))
+
+    def test_hash_consistency(self):
+        assert hash(And((leaf(P1), leaf(P2)))) == hash(And((leaf(P1), leaf(P2))))
+
+    def test_str_rendering(self):
+        text = str(And((leaf(P1), Or((leaf(P2), leaf(P3))))))
+        assert "and" in text and "or" in text
+
+
+class TestFlattening:
+    def test_nested_same_operator_collapses(self):
+        expression = And((leaf(P1), And((leaf(P2), leaf(P3)))))
+        flat = expression.flattened()
+        assert isinstance(flat, And)
+        assert len(flat.operands) == 3
+
+    def test_mixed_operators_preserved(self):
+        expression = And((leaf(P1), Or((leaf(P2), leaf(P3)))))
+        flat = expression.flattened()
+        assert isinstance(flat, And)
+        assert isinstance(flat.operands[1], Or)
+
+    def test_double_negation_collapses(self):
+        expression = Not(Not(leaf(P1)))
+        assert expression.flattened() == leaf(P1)
+
+    def test_deeply_nested_chain(self):
+        expression = And((leaf(P1), And((leaf(P2), And((leaf(P3), leaf(P1)))))))
+        flat = expression.flattened()
+        assert len(flat.operands) == 4
+
+    def test_leaf_flatten_is_identity(self):
+        assert leaf(P1).flattened() == leaf(P1)
+
+
+def random_expressions(max_leaves=6):
+    """Hypothesis strategy producing random AST trees over 3 attributes."""
+    predicates = st.sampled_from([P1, P2, P3]).map(PredicateLeaf)
+    return st.recursive(
+        predicates,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(tuple).map(And),
+            st.lists(children, min_size=2, max_size=3).map(tuple).map(Or),
+            children.map(Not),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def random_events():
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "a": st.integers(-5, 20),
+            "b": st.integers(0, 3),
+            "c": st.integers(-3, 3),
+        },
+    ).map(Event)
+
+
+class TestFlatteningProperties:
+    @given(random_expressions(), random_events())
+    def test_flattening_preserves_semantics(self, expression, event):
+        assert expression.matches(event) == expression.flattened().matches(event)
+
+    @given(random_expressions())
+    def test_flattening_preserves_predicate_multiset(self, expression):
+        before = sorted(str(p) for p in expression.predicates())
+        after = sorted(str(p) for p in expression.flattened().predicates())
+        assert before == after
+
+    @given(random_expressions())
+    def test_flattening_never_grows(self, expression):
+        assert expression.flattened().size() <= expression.size()
+
+    @given(random_expressions())
+    def test_flattening_is_idempotent(self, expression):
+        once = expression.flattened()
+        assert once.flattened() == once

@@ -1,0 +1,167 @@
+"""Cross-engine agreement: every engine computes the same matches.
+
+The brute-force engine is the oracle (it evaluates the user's expression
+directly); all other engines — including both non-canonical codecs and
+evaluation modes, the counting pair, and the paged engine — must agree
+with it on arbitrary workloads, both for full two-phase matching on
+events and for phase-2-only matching on fulfilled-id sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BruteForceEngine,
+    CountingEngine,
+    CountingVariantEngine,
+    NonCanonicalEngine,
+    PagedNonCanonicalEngine,
+)
+from repro.events import Event
+from repro.indexes import IndexManager
+from repro.predicates import PredicateRegistry
+from repro.subscriptions import Subscription
+from repro.workloads import (
+    EventGenerator,
+    GeneralSubscriptionGenerator,
+    PaperSubscriptionGenerator,
+)
+
+from .conftest import make_all_engines
+
+
+def register_everywhere(engines, subscriptions):
+    for subscription in subscriptions:
+        for engine in engines:
+            engine.register(subscription)
+
+
+class TestOnPaperWorkload:
+    @pytest.mark.parametrize("predicates", [6, 8, 10])
+    def test_phase2_agreement(self, predicates):
+        engines = make_all_engines()
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=predicates, seed=predicates
+        )
+        register_everywhere(engines, generator.subscriptions(40))
+        registry = engines[0].registry
+        universe = list(range(1, len(registry) + 1))
+        import random
+
+        rng = random.Random(13)
+        for _ in range(30):
+            fulfilled = set(rng.sample(universe, min(60, len(universe))))
+            answers = [engine.match_fulfilled(fulfilled) for engine in engines]
+            assert all(answer == answers[0] for answer in answers), (
+                [engine.name for engine in engines]
+            )
+
+    def test_full_pipeline_agreement_on_events(self):
+        engines = make_all_engines()
+        generator = GeneralSubscriptionGenerator(seed=3, allow_not=False)
+        register_everywhere(engines, generator.subscriptions(50))
+        events = EventGenerator(
+            attribute_pool=8, attributes_per_event=5, value_range=100, seed=4
+        )
+        oracle = engines[-1]
+        assert isinstance(oracle, BruteForceEngine)
+        # events over the generator's attribute space
+        import random
+
+        rng = random.Random(9)
+        for _ in range(60):
+            payload = {}
+            for name in ("price", "volume", "qty", "score"):
+                if rng.random() < 0.8:
+                    payload[name] = rng.randint(0, 100)
+            for name in ("symbol", "category"):
+                if rng.random() < 0.8:
+                    payload[name] = "".join(
+                        rng.choice("abcde") for _ in range(rng.randint(1, 4))
+                    )
+            event = Event(payload)
+            expected = oracle.match(event)
+            for engine in engines[:-1]:
+                assert engine.match(event) == expected, engine.name
+
+
+class TestPagedAgreement:
+    def test_paged_equals_in_memory(self):
+        registry = PredicateRegistry()
+        indexes = IndexManager()
+        paged = PagedNonCanonicalEngine(registry=registry, indexes=indexes)
+        plain = NonCanonicalEngine(registry=registry, indexes=indexes)
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=6, seed=21
+        )
+        for subscription in generator.subscriptions(50):
+            paged.register(subscription)
+            plain.register(subscription)
+        import random
+
+        rng = random.Random(2)
+        universe = list(range(1, len(registry) + 1))
+        for _ in range(25):
+            fulfilled = set(rng.sample(universe, 30))
+            assert paged.match_fulfilled(fulfilled) == plain.match_fulfilled(
+                fulfilled
+            )
+        paged.close()
+
+
+class TestAgreementUnderChurn:
+    def test_agreement_preserved_across_unsubscriptions(self):
+        engines = [
+            NonCanonicalEngine(),
+            CountingEngine(support_unsubscription=True),
+            CountingVariantEngine(support_unsubscription=False),
+            BruteForceEngine(),
+        ]
+        generator = GeneralSubscriptionGenerator(seed=8, allow_not=False)
+        subscriptions = generator.subscriptions(30)
+        register_everywhere(engines, subscriptions)
+        import random
+
+        rng = random.Random(4)
+        doomed = rng.sample(subscriptions, 12)
+        for subscription in doomed:
+            for engine in engines:
+                engine.unregister(subscription.subscription_id)
+        for _ in range(40):
+            payload = {
+                "price": rng.randint(0, 100),
+                "volume": rng.randint(0, 100),
+                "qty": rng.randint(0, 100),
+                "score": rng.randint(0, 100),
+                "symbol": "".join(rng.choice("abcde") for _ in range(3)),
+                "category": "".join(rng.choice("abcde") for _ in range(2)),
+            }
+            event = Event(payload)
+            answers = [engine.match(event) for engine in engines]
+            assert all(answer == answers[0] for answer in answers)
+
+
+class TestHypothesisAgreement:
+    @given(st.integers(0, 10_000), st.integers(2, 14))
+    @settings(max_examples=30, deadline=None)
+    def test_random_workloads_and_fulfilled_sets(self, seed, fulfilled_count):
+        engines = make_all_engines()
+        generator = GeneralSubscriptionGenerator(seed=seed, allow_not=False)
+        register_everywhere(engines, generator.subscriptions(12))
+        registry = engines[0].registry
+        universe = list(range(1, len(registry) + 1))
+        import random
+
+        rng = random.Random(seed)
+        fulfilled = set(
+            rng.sample(universe, min(fulfilled_count, len(universe)))
+        )
+        answers = {
+            engine.name + str(index): engine.match_fulfilled(fulfilled)
+            for index, engine in enumerate(engines)
+        }
+        values = list(answers.values())
+        assert all(value == values[0] for value in values), answers

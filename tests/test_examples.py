@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end to end and tells its story."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    present = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "stock_ticker.py",
+        "broker_network.py",
+        "paper_experiment.py",
+    } <= present
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "registered" in out
+    assert "alice" in out and "bob" in out
+    assert "no match" in out
+    assert "engine memory" in out
+    assert "after unsubscribe: 1 subscription(s) left" in out
+
+
+def test_stock_ticker():
+    out = run_example("stock_ticker.py")
+    assert "400 traders registered" in out
+    assert "3,200 conjunctive clauses" in out  # the 8x DNF blow-up
+    assert "notifications from each engine" in out
+    assert "faster on this workload" in out
+
+
+def test_broker_network():
+    out = run_example("broker_network.py")
+    assert "subscriptions registered across the overlay" in out
+    assert "pruned routing" in out
+    assert "memory_pressure" in out
+    assert "busiest subscriber" in out
+
+
+@pytest.mark.slow
+def test_paper_experiment():
+    out = run_example("paper_experiment.py", timeout=600)
+    assert "10 predicates" in out
+    assert "normalized slope" in out
+    assert "counting exhausts the memory budget" in out

@@ -1,0 +1,137 @@
+"""Unit tests for the hash-family predicate indexes."""
+
+from __future__ import annotations
+
+from repro.indexes import (
+    EqualityIndex,
+    ExistsIndex,
+    MembershipIndex,
+    NotEqualIndex,
+)
+
+
+class TestEqualityIndex:
+    def test_match_by_exact_value(self):
+        index = EqualityIndex()
+        index.insert(10, 1)
+        index.insert(10, 2)
+        index.insert(20, 3)
+        assert set(index.match(10)) == {1, 2}
+        assert set(index.match(20)) == {3}
+        assert set(index.match(30)) == set()
+
+    def test_len_counts_pairs(self):
+        index = EqualityIndex()
+        index.insert(10, 1)
+        index.insert(10, 2)
+        assert len(index) == 2
+
+    def test_duplicate_insert_is_idempotent(self):
+        index = EqualityIndex()
+        index.insert(10, 1)
+        index.insert(10, 1)
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = EqualityIndex()
+        index.insert(10, 1)
+        assert index.remove(10, 1)
+        assert not index.remove(10, 1)
+        assert set(index.match(10)) == set()
+        assert index.is_empty
+
+    def test_remove_wrong_operand_fails(self):
+        index = EqualityIndex()
+        index.insert(10, 1)
+        assert not index.remove(11, 1)
+
+    def test_distinguishes_value_types(self):
+        index = EqualityIndex()
+        index.insert("10", 1)
+        assert set(index.match(10)) == set()
+
+    def test_operands_iteration(self):
+        index = EqualityIndex()
+        index.insert(1, 1)
+        index.insert(2, 2)
+        assert sorted(index.operands()) == [1, 2]
+
+
+class TestNotEqualIndex:
+    def test_matches_complement(self):
+        index = NotEqualIndex()
+        index.insert(10, 1)  # x != 10
+        index.insert(20, 2)  # x != 20
+        assert set(index.match(10)) == {2}
+        assert set(index.match(20)) == {1}
+        assert set(index.match(30)) == {1, 2}
+
+    def test_multiple_predicates_same_operand(self):
+        index = NotEqualIndex()
+        index.insert(10, 1)
+        index.insert(10, 2)
+        assert set(index.match(10)) == set()
+        assert set(index.match(11)) == {1, 2}
+
+    def test_remove(self):
+        index = NotEqualIndex()
+        index.insert(10, 1)
+        assert index.remove(10, 1)
+        assert not index.remove(10, 1)
+        assert set(index.match(99)) == set()
+        assert len(index) == 0
+
+    def test_duplicate_insert_ignored(self):
+        index = NotEqualIndex()
+        index.insert(10, 1)
+        index.insert(10, 1)
+        assert len(index) == 1
+
+
+class TestMembershipIndex:
+    def test_matches_any_alternative(self):
+        index = MembershipIndex()
+        index.insert(frozenset({1, 2, 3}), 10)
+        for value in (1, 2, 3):
+            assert set(index.match(value)) == {10}
+        assert set(index.match(4)) == set()
+
+    def test_overlapping_sets(self):
+        index = MembershipIndex()
+        index.insert(frozenset({1, 2}), 10)
+        index.insert(frozenset({2, 3}), 11)
+        assert set(index.match(2)) == {10, 11}
+        assert set(index.match(1)) == {10}
+
+    def test_remove_cleans_all_alternatives(self):
+        index = MembershipIndex()
+        operand = frozenset({1, 2})
+        index.insert(operand, 10)
+        assert index.remove(operand, 10)
+        assert set(index.match(1)) == set()
+        assert set(index.match(2)) == set()
+        assert len(index) == 0
+
+    def test_remove_unknown_returns_false(self):
+        index = MembershipIndex()
+        assert not index.remove(frozenset({1}), 10)
+
+    def test_len_counts_predicates_not_alternatives(self):
+        index = MembershipIndex()
+        index.insert(frozenset({1, 2, 3}), 10)
+        assert len(index) == 1
+
+
+class TestExistsIndex:
+    def test_matches_everything(self):
+        index = ExistsIndex()
+        index.insert(None, 1)
+        assert set(index.match("whatever")) == {1}
+        assert set(index.match(0)) == {1}
+
+    def test_remove(self):
+        index = ExistsIndex()
+        index.insert(None, 1)
+        assert index.remove(None, 1)
+        assert not index.remove(None, 1)
+        assert set(index.match(0)) == set()

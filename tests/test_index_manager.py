@@ -1,0 +1,176 @@
+"""Unit and property tests for phase-1 predicate matching
+(repro.indexes.manager)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Event
+from repro.indexes import IndexManager
+from repro.predicates import Operator, Predicate
+
+
+def predicate_strategy():
+    numeric_attr = st.sampled_from(["a", "b", "c"])
+    string_attr = st.sampled_from(["s", "t"])
+    value = st.integers(-10, 10)
+    word = st.text(alphabet="xyz", max_size=3)
+    return st.one_of(
+        st.tuples(numeric_attr, st.sampled_from(
+            [Operator.EQ, Operator.NE, Operator.LT, Operator.LE,
+             Operator.GT, Operator.GE]), value
+        ).map(lambda t: Predicate(*t)),
+        st.builds(
+            lambda a, low, span: Predicate(a, Operator.BETWEEN, (low, low + span)),
+            numeric_attr, value, st.integers(0, 8),
+        ),
+        st.builds(
+            lambda a, values: Predicate(a, Operator.IN, values),
+            numeric_attr, st.sets(value, min_size=1, max_size=4),
+        ),
+        st.tuples(string_attr, st.sampled_from(
+            [Operator.EQ, Operator.NE, Operator.PREFIX,
+             Operator.SUFFIX, Operator.CONTAINS]), word
+        ).map(lambda t: Predicate(*t)),
+        st.builds(lambda a: Predicate(a, Operator.EXISTS), numeric_attr),
+    )
+
+
+def event_strategy():
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "a": st.integers(-12, 12),
+            "b": st.integers(-12, 12),
+            "c": st.integers(-12, 12),
+            "s": st.text(alphabet="xyz", max_size=4),
+            "t": st.text(alphabet="xyz", max_size=4),
+        },
+    ).map(Event)
+
+
+class TestDispatch:
+    """One predicate of each operator family lands in the right index and
+    matches correctly through the manager."""
+
+    @pytest.mark.parametrize(
+        "predicate, matching, non_matching",
+        [
+            (Predicate("x", Operator.EQ, 5), {"x": 5}, {"x": 6}),
+            (Predicate("x", Operator.NE, 5), {"x": 6}, {"x": 5}),
+            (Predicate("x", Operator.LT, 5), {"x": 4}, {"x": 5}),
+            (Predicate("x", Operator.LE, 5), {"x": 5}, {"x": 6}),
+            (Predicate("x", Operator.GT, 5), {"x": 6}, {"x": 5}),
+            (Predicate("x", Operator.GE, 5), {"x": 5}, {"x": 4}),
+            (Predicate("x", Operator.BETWEEN, (1, 3)), {"x": 2}, {"x": 4}),
+            (Predicate("x", Operator.IN, [1, 2]), {"x": 2}, {"x": 3}),
+            (Predicate("x", Operator.EXISTS), {"x": 0}, {"y": 0}),
+            (Predicate("s", Operator.PREFIX, "ab"), {"s": "abc"}, {"s": "ba"}),
+            (Predicate("s", Operator.SUFFIX, "bc"), {"s": "abc"}, {"s": "cb"}),
+            (Predicate("s", Operator.CONTAINS, "b"), {"s": "abc"}, {"s": "ac"}),
+        ],
+        ids=lambda value: str(value),
+    )
+    def test_operator_families(self, predicate, matching, non_matching):
+        manager = IndexManager()
+        manager.add(predicate, 1)
+        assert manager.match(Event(matching)) == {1}
+        assert manager.match(Event(non_matching)) == set()
+
+    def test_add_is_idempotent_per_id(self):
+        manager = IndexManager()
+        p = Predicate("x", Operator.EQ, 5)
+        manager.add(p, 1)
+        manager.add(p, 1)
+        assert len(manager) == 1
+
+    def test_numeric_and_string_domains_separated(self):
+        manager = IndexManager()
+        manager.add(Predicate("x", Operator.GT, 5), 1)
+        manager.add(Predicate("x", Operator.GT, "m"), 2)
+        assert manager.match(Event({"x": 10})) == {1}
+        assert manager.match(Event({"x": "z"})) == {2}
+
+    def test_bool_event_value_only_hits_hash_family(self):
+        manager = IndexManager()
+        manager.add(Predicate("x", Operator.EQ, True), 1)
+        manager.add(Predicate("x", Operator.GT, 0), 2)
+        assert manager.match(Event({"x": True})) == {1}
+
+    def test_event_with_unknown_attributes(self):
+        manager = IndexManager()
+        manager.add(Predicate("x", Operator.EQ, 5), 1)
+        assert manager.match(Event({"other": 5})) == set()
+
+    def test_btree_order_validation(self):
+        with pytest.raises(ValueError):
+            IndexManager(btree_order=2)
+
+
+class TestRemoval:
+    def test_remove_each_family(self):
+        manager = IndexManager()
+        predicates = {
+            1: Predicate("x", Operator.EQ, 5),
+            2: Predicate("x", Operator.NE, 5),
+            3: Predicate("x", Operator.GT, 5),
+            4: Predicate("x", Operator.BETWEEN, (1, 3)),
+            5: Predicate("x", Operator.IN, [1]),
+            6: Predicate("x", Operator.EXISTS),
+            7: Predicate("s", Operator.PREFIX, "a"),
+            8: Predicate("s", Operator.SUFFIX, "a"),
+            9: Predicate("s", Operator.CONTAINS, "a"),
+        }
+        for pid, p in predicates.items():
+            manager.add(p, pid)
+        for pid in predicates:
+            assert manager.remove(pid)
+        assert len(manager) == 0
+        assert list(manager.attributes()) == []
+
+    def test_remove_unknown_returns_false(self):
+        assert not IndexManager().remove(99)
+
+    def test_predicate_lookup(self):
+        manager = IndexManager()
+        p = Predicate("x", Operator.EQ, 5)
+        manager.add(p, 1)
+        assert manager.predicate(1) == p
+        assert 1 in manager
+        assert 2 not in manager
+
+
+class TestAgainstDirectEvaluation:
+    @given(st.lists(predicate_strategy(), max_size=25), event_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_match_equals_per_predicate_evaluation(self, predicates, event):
+        manager = IndexManager()
+        for pid, predicate in enumerate(predicates, start=1):
+            manager.add(predicate, pid)
+        expected = {
+            pid
+            for pid, predicate in enumerate(predicates, start=1)
+            if predicate.matches(event)
+        }
+        assert manager.match(event) == expected
+
+    @given(st.lists(predicate_strategy(), min_size=2, max_size=25),
+           event_strategy(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_match_after_partial_removal(self, predicates, event, data):
+        manager = IndexManager()
+        for pid, predicate in enumerate(predicates, start=1):
+            manager.add(predicate, pid)
+        removed = data.draw(
+            st.sets(st.integers(1, len(predicates)), max_size=len(predicates))
+        )
+        for pid in removed:
+            manager.remove(pid)
+        expected = {
+            pid
+            for pid, predicate in enumerate(predicates, start=1)
+            if pid not in removed and predicate.matches(event)
+        }
+        assert manager.match(event) == expected

@@ -1,0 +1,224 @@
+"""Unit and property tests for the interval index and string tries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import ContainsScanList, IntervalIndex, PrefixTrie, SuffixTrie
+
+
+class TestIntervalIndex:
+    def test_stabbing_basic(self):
+        index = IntervalIndex()
+        index.insert((10, 20), 1)
+        index.insert((15, 30), 2)
+        index.insert((40, 50), 3)
+        assert set(index.match(17)) == {1, 2}
+        assert set(index.match(10)) == {1}
+        assert set(index.match(35)) == set()
+        assert set(index.match(40)) == {3}
+
+    def test_point_interval(self):
+        index = IntervalIndex()
+        index.insert((5, 5), 1)
+        assert set(index.match(5)) == {1}
+        assert set(index.match(4)) == set()
+
+    def test_remove_pending(self):
+        index = IntervalIndex()
+        index.insert((1, 2), 1)
+        assert index.remove((1, 2), 1)
+        assert set(index.match(1)) == set()
+        assert len(index) == 0
+
+    def test_remove_wrong_bounds_fails(self):
+        index = IntervalIndex()
+        index.insert((1, 2), 1)
+        assert not index.remove((1, 3), 1)
+
+    def test_remove_after_rebuild(self):
+        index = IntervalIndex()
+        index.insert((1, 10), 1)
+        index.rebuild()
+        assert index.remove((1, 10), 1)
+        assert set(index.match(5)) == set()
+
+    def test_rebuild_triggered_by_churn(self):
+        index = IntervalIndex(rebuild_fraction=0.25)
+        for i in range(100):
+            index.insert((i, i + 5), i)
+        assert len(index) == 100
+        assert set(index.match(3)) == {0, 1, 2, 3}
+
+    def test_string_domain(self):
+        index = IntervalIndex()
+        index.insert(("a", "m"), 1)
+        assert set(index.match("f")) == {1}
+        assert set(index.match("z")) == set()
+
+    def test_incomparable_value_matches_nothing(self):
+        index = IntervalIndex()
+        index.insert((1, 5), 1)
+        index.rebuild()
+        assert set(index.match("x")) == set()
+
+    def test_invalid_rebuild_fraction(self):
+        with pytest.raises(ValueError):
+            IntervalIndex(rebuild_fraction=0)
+
+    def test_intervals_iteration(self):
+        index = IntervalIndex()
+        index.insert((1, 2), 1)
+        index.rebuild()
+        index.insert((3, 4), 2)
+        assert sorted(index.intervals()) == [(1, 2, 1), (3, 4, 2)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 20), st.integers(0, 400)),
+            max_size=80,
+        ),
+        st.integers(0, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_scan(self, raw, probe):
+        index = IntervalIndex(rebuild_fraction=0.3)
+        reference = {}
+        for pid, (low, span, _) in enumerate(raw):
+            index.insert((low, low + span), pid)
+            reference[pid] = (low, low + span)
+        expected = {
+            pid for pid, (low, high) in reference.items() if low <= probe <= high
+        }
+        assert set(index.match(probe)) == expected
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 30), st.integers(0, 10)),
+                 min_size=1, max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_under_churn(self, intervals, data):
+        index = IntervalIndex(rebuild_fraction=0.2)
+        live = {}
+        for pid, (low, span) in enumerate(intervals):
+            index.insert((low, low + span), pid)
+            live[pid] = (low, low + span)
+        doomed = data.draw(
+            st.lists(st.sampled_from(sorted(live)), unique=True, max_size=len(live))
+        )
+        for pid in doomed:
+            assert index.remove(live[pid], pid)
+            del live[pid]
+        probe = data.draw(st.integers(0, 45))
+        expected = {
+            pid for pid, (low, high) in live.items() if low <= probe <= high
+        }
+        assert set(index.match(probe)) == expected
+        assert len(index) == len(live)
+
+
+class TestPrefixTrie:
+    def test_all_prefixes_of_value_match(self):
+        trie = PrefixTrie()
+        trie.insert("a", 1)
+        trie.insert("ac", 2)
+        trie.insert("acme", 3)
+        trie.insert("b", 4)
+        assert set(trie.match("acme corp")) == {1, 2, 3}
+        assert set(trie.match("b")) == {4}
+        assert set(trie.match("zzz")) == set()
+
+    def test_empty_prefix_matches_everything(self):
+        trie = PrefixTrie()
+        trie.insert("", 1)
+        assert set(trie.match("anything")) == {1}
+        assert set(trie.match("")) == {1}
+
+    def test_exact_boundary(self):
+        trie = PrefixTrie()
+        trie.insert("acme", 1)
+        assert set(trie.match("acme")) == {1}
+        assert set(trie.match("acm")) == set()
+
+    def test_non_string_matches_nothing(self):
+        trie = PrefixTrie()
+        trie.insert("a", 1)
+        assert set(trie.match(5)) == set()
+
+    def test_remove_prunes_branches(self):
+        trie = PrefixTrie()
+        trie.insert("abc", 1)
+        trie.insert("ab", 2)
+        assert trie.remove("abc", 1)
+        assert set(trie.match("abcdef")) == {2}
+        assert len(trie) == 1
+        assert not trie.remove("abc", 1)
+
+    def test_remove_unknown_path(self):
+        trie = PrefixTrie()
+        trie.insert("abc", 1)
+        assert not trie.remove("xyz", 1)
+        assert not trie.remove("abc", 9)
+
+    @given(st.lists(st.text(alphabet="abc", max_size=5), max_size=30),
+           st.text(alphabet="abc", max_size=8))
+    def test_matches_reference(self, prefixes, value):
+        trie = PrefixTrie()
+        for pid, prefix in enumerate(prefixes):
+            trie.insert(prefix, pid)
+        expected = {
+            pid for pid, prefix in enumerate(prefixes)
+            if value.startswith(prefix)
+        }
+        assert set(trie.match(value)) == expected
+
+
+class TestSuffixTrie:
+    def test_suffix_matching(self):
+        trie = SuffixTrie()
+        trie.insert(".pdf", 1)
+        trie.insert("report.pdf", 2)
+        assert set(trie.match("q3-report.pdf")) == {1, 2}
+        assert set(trie.match("report.doc")) == set()
+
+    def test_remove(self):
+        trie = SuffixTrie()
+        trie.insert(".pdf", 1)
+        assert trie.remove(".pdf", 1)
+        assert set(trie.match("a.pdf")) == set()
+
+    @given(st.lists(st.text(alphabet="ab.", max_size=5), max_size=20),
+           st.text(alphabet="ab.", max_size=8))
+    def test_matches_reference(self, suffixes, value):
+        trie = SuffixTrie()
+        for pid, suffix in enumerate(suffixes):
+            trie.insert(suffix, pid)
+        expected = {
+            pid for pid, suffix in enumerate(suffixes)
+            if value.endswith(suffix)
+        }
+        assert set(trie.match(value)) == expected
+
+
+class TestContainsScanList:
+    def test_substring_matching(self):
+        index = ContainsScanList()
+        index.insert("urgent", 1)
+        index.insert("gen", 2)
+        assert set(index.match("urgent news")) == {1, 2}
+        assert set(index.match("calm news")) == set()
+
+    def test_remove(self):
+        index = ContainsScanList()
+        index.insert("x", 1)
+        assert index.remove("x", 1)
+        assert not index.remove("x", 1)
+        assert len(index) == 0
+
+    def test_non_string_matches_nothing(self):
+        index = ContainsScanList()
+        index.insert("x", 1)
+        assert set(index.match(7)) == set()

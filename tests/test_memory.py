@@ -1,0 +1,178 @@
+"""Unit tests for the memory subsystem: cost model, simulated machine,
+and the closed-form analysis cross-checked against measured engines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CountingEngine, NonCanonicalEngine
+from repro.memory import (
+    MIB,
+    PAPER_MACHINE,
+    CostModel,
+    PaperWorkloadShape,
+    SimulatedMachine,
+    capacity,
+    capacity_ratio,
+    counting_bytes,
+    noncanonical_bytes,
+    noncanonical_tree_bytes,
+)
+from repro.workloads import PaperSubscriptionGenerator
+
+
+class TestCostModel:
+    def test_paper_field_costs(self):
+        model = CostModel()
+        assert model.operator_bytes == 1
+        assert model.child_count_bytes == 1
+        assert model.child_width_bytes == 2
+        assert model.predicate_id_bytes == 4
+
+    def test_vector_costs(self):
+        model = CostModel()
+        assert model.vector_bytes(100) == 100
+        assert model.bit_vector_bytes(8) == 1
+        assert model.bit_vector_bytes(9) == 2
+        assert model.bit_vector_bytes(0) == 0
+
+    def test_association_table_cost(self):
+        model = CostModel()
+        # 2 predicates, 3 references
+        expected = 2 * (4 + 4) + 3 * 4
+        assert model.association_table_bytes(2, 3) == expected
+
+    def test_location_table_cost(self):
+        model = CostModel()
+        assert model.location_table_bytes(10) == 10 * (4 + 4 + 4)
+
+
+class TestSimulatedMachine:
+    def test_paper_defaults(self):
+        assert PAPER_MACHINE.total_memory_bytes == 512 * MIB
+        assert PAPER_MACHINE.available_bytes < 512 * MIB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedMachine(total_memory_bytes=0)
+        with pytest.raises(ValueError):
+            SimulatedMachine(total_memory_bytes=100, os_reserved_bytes=100)
+        with pytest.raises(ValueError):
+            SimulatedMachine(swap_penalty=-1)
+
+    def test_no_slowdown_below_budget(self):
+        machine = SimulatedMachine(
+            total_memory_bytes=1000, os_reserved_bytes=0, swap_penalty=40
+        )
+        assert machine.slowdown_factor(999) == 1.0
+        assert machine.slowdown_factor(1000) == 1.0
+        assert not machine.is_thrashing(1000)
+
+    def test_slowdown_above_budget(self):
+        machine = SimulatedMachine(
+            total_memory_bytes=1000, os_reserved_bytes=0, swap_penalty=40
+        )
+        assert machine.is_thrashing(2000)
+        assert machine.swapped_fraction(2000) == 0.5
+        assert machine.slowdown_factor(2000) == 1.0 + 0.5 * 39.0
+
+    def test_slowdown_monotone_in_working_set(self):
+        machine = SimulatedMachine(
+            total_memory_bytes=1000, os_reserved_bytes=100, swap_penalty=10
+        )
+        factors = [machine.slowdown_factor(n) for n in range(0, 5000, 250)]
+        assert factors == sorted(factors)
+
+    def test_adjusted_time(self):
+        machine = SimulatedMachine(
+            total_memory_bytes=1000, os_reserved_bytes=0, swap_penalty=3
+        )
+        assert machine.adjusted_time(2.0, 500) == 2.0
+        assert machine.adjusted_time(2.0, 2000) == pytest.approx(4.0)
+
+    @given(st.integers(0, 10**9))
+    def test_slowdown_never_below_one(self, working_set):
+        assert PAPER_MACHINE.slowdown_factor(working_set) >= 1.0
+
+
+class TestWorkloadShape:
+    def test_clause_arithmetic(self):
+        shape = PaperWorkloadShape(10)
+        assert shape.k == 5
+        assert shape.dnf_clauses_per_subscription == 32
+        assert shape.predicates_per_clause == 5
+
+    def test_table1_transformation_range(self):
+        # Table 1: "8 to 32" transformed subscriptions per subscription
+        assert PaperWorkloadShape(6).dnf_clauses_per_subscription == 8
+        assert PaperWorkloadShape(10).dnf_clauses_per_subscription == 32
+
+    def test_odd_predicate_count_rejected(self):
+        with pytest.raises(ValueError):
+            PaperWorkloadShape(7)
+        with pytest.raises(ValueError):
+            PaperWorkloadShape(0)
+
+
+class TestAnalysisAgainstMeasurement:
+    """The §5 'theoretical memory analysis', cross-checked: closed forms
+    must equal what the engines actually report, byte for byte."""
+
+    @pytest.mark.parametrize("predicates", [6, 8, 10])
+    @pytest.mark.parametrize("count", [1, 17])
+    def test_noncanonical_formula_exact(self, predicates, count):
+        engine = NonCanonicalEngine()
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=predicates, seed=count
+        )
+        for subscription in generator.subscriptions(count):
+            engine.register(subscription)
+        shape = PaperWorkloadShape(predicates)
+        assert engine.memory_bytes() == noncanonical_bytes(count, shape)
+
+    @pytest.mark.parametrize("predicates", [6, 8, 10])
+    @pytest.mark.parametrize("support_unsubscription", [False, True])
+    def test_counting_formula_exact(self, predicates, support_unsubscription):
+        count = 9
+        engine = CountingEngine(support_unsubscription=support_unsubscription)
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=predicates, seed=count
+        )
+        for subscription in generator.subscriptions(count):
+            engine.register(subscription)
+        shape = PaperWorkloadShape(predicates)
+        assert engine.memory_bytes() == counting_bytes(
+            count, shape, support_unsubscription=support_unsubscription
+        )
+
+    def test_tree_bytes_formula(self):
+        shape = PaperWorkloadShape(6)
+        # root 2 + 3*2 widths + 3 ORs of (2 + 2*2 + 2*4)
+        assert noncanonical_tree_bytes(shape) == 8 + 3 * 14
+
+
+class TestCapacityClaims:
+    def test_capacity_ratio_exceeds_four_at_ten_predicates(self):
+        """Paper §4.1: 'it easily handles more than 4 times as many
+        subscriptions' at |p| = 10."""
+        assert capacity_ratio(PaperWorkloadShape(10)) > 4.0
+
+    def test_capacity_ratio_grows_with_predicates(self):
+        ratios = [capacity_ratio(PaperWorkloadShape(p)) for p in (6, 8, 10, 12)]
+        assert ratios == sorted(ratios)
+
+    def test_capacity_consistency(self):
+        shape = PaperWorkloadShape(10)
+        budget = PAPER_MACHINE.available_bytes
+        non_canonical = capacity(budget, shape, "non-canonical")
+        counting = capacity(budget, shape, "counting")
+        assert non_canonical > 4 * counting
+        # paper's observed exhaustion point: hundreds of thousands of
+        # original subscriptions on the 512 MB machine
+        assert 300_000 < counting < 900_000
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            capacity(1000, PaperWorkloadShape(6), "mystery")

@@ -1,0 +1,140 @@
+"""Tests for covering-based routing-table compaction in the overlay."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.broker import Broker, BrokerNetwork
+from repro.events import Event
+from repro.workloads import StockScenario
+
+
+def chain(covering=True, names=("a", "b", "c", "d")):
+    network = BrokerNetwork(covering_enabled=covering)
+    for name in names:
+        network.add_broker(Broker(name))
+    for left, right in zip(names, names[1:]):
+        network.connect(left, right)
+    return network
+
+
+class TestSuppression:
+    def test_covered_subscription_not_registered_remotely(self):
+        network = chain()
+        network.subscribe("a", "x > 0", subscriber="wide")
+        network.subscribe("a", "x > 5", subscriber="narrow")
+        # home broker 'a' registers both; remote brokers only the coverer
+        assert network.broker("a").subscription_count == 2
+        for name in "bcd":
+            assert network.broker(name).subscription_count == 1
+        assert network.stats.suppressed_registrations == 3
+
+    def test_direction_mismatch_prevents_suppression(self):
+        network = chain()
+        # same expressions but homes at opposite ends: at every broker
+        # their next hops differ, so nothing may be suppressed
+        network.subscribe("a", "x > 0", subscriber="left")
+        network.subscribe("d", "x > 5", subscriber="right")
+        assert network.stats.suppressed_registrations == 0
+
+    def test_deliveries_unaffected_by_suppression(self):
+        with_covering = chain(covering=True)
+        without = chain(covering=False)
+        for network in (with_covering, without):
+            network.subscribe("a", "x > 0", subscriber="wide")
+            network.subscribe("a", "x > 5", subscriber="narrow")
+            network.subscribe("c", "x > 5 and y = 1", subscriber="remote")
+        for value in (-1, 3, 7):
+            for y in (0, 1):
+                event = Event({"x": value, "y": y})
+                got = {
+                    (n.subscriber, n.broker)
+                    for n in with_covering.publish("d", event)
+                }
+                expected = {
+                    (n.subscriber, n.broker)
+                    for n in without.publish("d", event)
+                }
+                assert got == expected, (value, y)
+
+    def test_memory_savings_visible(self):
+        saving = chain(covering=True)
+        plain = chain(covering=False)
+        for network in (saving, plain):
+            network.subscribe("a", "price >= 0", subscriber="firehose")
+            for index in range(10):
+                low = index * 5
+                network.subscribe(
+                    "a", f"price between [{low}, {low + 4}]",
+                    subscriber=f"band{index}",
+                )
+        saved = sum(
+            broker.engine.memory_bytes() for broker in saving.brokers()
+        )
+        unsaved = sum(
+            broker.engine.memory_bytes() for broker in plain.brokers()
+        )
+        assert saved < unsaved
+
+
+class TestReinstatement:
+    def test_coverer_withdrawal_reinstates_covered(self):
+        network = chain()
+        wide = network.subscribe("a", "x > 0", subscriber="wide")
+        network.subscribe("a", "x > 5", subscriber="narrow")
+        assert network.broker("d").subscription_count == 1
+        network.unsubscribe(wide.subscription_id)
+        # the narrow subscription must now be registered everywhere
+        for name in "abcd":
+            assert network.broker(name).subscription_count == 1
+        deliveries = network.publish("d", Event({"x": 9}))
+        assert [n.subscriber for n in deliveries] == ["narrow"]
+        assert network.publish("d", Event({"x": 3})) == []
+
+    def test_withdrawing_covered_subscription(self):
+        network = chain()
+        network.subscribe("a", "x > 0", subscriber="wide")
+        narrow = network.subscribe("a", "x > 5", subscriber="narrow")
+        network.unsubscribe(narrow.subscription_id)
+        deliveries = network.publish("d", Event({"x": 9}))
+        assert [n.subscriber for n in deliveries] == ["wide"]
+        # no dangling state
+        for name in "abcd":
+            assert narrow.subscription_id not in network._next_hop[name]
+            assert narrow.subscription_id not in network._suppressed[name]
+
+
+class TestEquivalenceUnderChurn:
+    def test_covering_network_equals_plain_network(self):
+        rng = random.Random(5)
+        scenario = StockScenario(seed=3)
+        networks = {
+            "covering": chain(covering=True),
+            "plain": chain(covering=False),
+        }
+        live: list[int] = []
+        homes = "abcd"
+        for step in range(25):
+            if live and rng.random() < 0.35:
+                sid = live.pop(rng.randrange(len(live)))
+                for network in networks.values():
+                    network.unsubscribe(sid)
+            else:
+                home = rng.choice(homes)
+                subscription = scenario.subscription(f"user{step}")
+                for network in networks.values():
+                    network.subscribe(home, subscription)
+                live.append(subscription.subscription_id)
+            event = scenario.event()
+            publish_at = rng.choice(homes)
+            got = {
+                (n.subscriber, n.subscription_id, n.broker)
+                for n in networks["covering"].publish(publish_at, event)
+            }
+            expected = {
+                (n.subscriber, n.subscription_id, n.broker)
+                for n in networks["plain"].publish(publish_at, event)
+            }
+            assert got == expected, step

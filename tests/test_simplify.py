@@ -1,0 +1,110 @@
+"""Unit and property tests for expression simplification."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.predicates import Operator, Predicate
+from repro.subscriptions import (
+    And,
+    Not,
+    Or,
+    is_conjunctive,
+    is_dnf_shaped,
+    leaf,
+    parse,
+    simplify,
+)
+
+from .test_ast import random_events, random_expressions
+
+P1 = Predicate("a", Operator.GT, 10)
+P2 = Predicate("b", Operator.EQ, 1)
+P3 = Predicate("c", Operator.LT, 0)
+
+
+class TestRules:
+    def test_double_negation(self):
+        assert simplify(Not(Not(leaf(P1)))) == leaf(P1)
+
+    def test_quadruple_negation(self):
+        assert simplify(Not(Not(Not(Not(leaf(P1)))))) == leaf(P1)
+
+    def test_idempotence_and(self):
+        assert simplify(And((leaf(P1), leaf(P1)))) == leaf(P1)
+
+    def test_idempotence_or(self):
+        assert simplify(Or((leaf(P1), leaf(P1)))) == leaf(P1)
+
+    def test_idempotence_keeps_distinct(self):
+        result = simplify(And((leaf(P1), leaf(P2), leaf(P1))))
+        assert isinstance(result, And)
+        assert len(result.operands) == 2
+
+    def test_absorption_and_over_or(self):
+        # a AND (a OR b) == a
+        assert simplify(And((leaf(P1), Or((leaf(P1), leaf(P2)))))) == leaf(P1)
+
+    def test_absorption_or_over_and(self):
+        # a OR (a AND b) == a
+        assert simplify(Or((leaf(P1), And((leaf(P1), leaf(P2)))))) == leaf(P1)
+
+    def test_absorption_nested_in_larger_expression(self):
+        expression = And((
+            leaf(P3),
+            Or((leaf(P1), And((leaf(P1), leaf(P2))))),
+        ))
+        result = simplify(expression)
+        assert result == And((leaf(P3), leaf(P1)))
+
+    def test_flattening_applied(self):
+        result = simplify(And((leaf(P1), And((leaf(P2), leaf(P3))))))
+        assert isinstance(result, And)
+        assert len(result.operands) == 3
+
+    def test_already_simple_unchanged(self):
+        expression = parse("a > 10 and b = 1")
+        assert simplify(expression) == expression
+
+
+class TestProperties:
+    @given(random_expressions(), random_events())
+    def test_simplify_preserves_semantics(self, expression, event):
+        assert simplify(expression).matches(event) == expression.matches(event)
+
+    @given(random_expressions())
+    def test_simplify_never_grows(self, expression):
+        assert simplify(expression).size() <= expression.size()
+
+    @given(random_expressions())
+    def test_simplify_is_idempotent(self, expression):
+        once = simplify(expression)
+        assert simplify(once) == once
+
+    @given(random_expressions())
+    def test_simplify_keeps_predicate_subset(self, expression):
+        assert simplify(expression).unique_predicates() <= (
+            expression.unique_predicates()
+        )
+
+
+class TestShapePredicates:
+    def test_single_leaf_is_conjunctive(self):
+        assert is_conjunctive(leaf(P1))
+
+    def test_and_of_leaves_is_conjunctive(self):
+        assert is_conjunctive(parse("a = 1 and b = 2"))
+
+    def test_or_is_not_conjunctive(self):
+        assert not is_conjunctive(parse("a = 1 or b = 2"))
+
+    def test_negation_is_not_conjunctive(self):
+        assert not is_conjunctive(Not(leaf(P1)))
+
+    def test_nested_and_is_conjunctive_after_flatten(self):
+        assert is_conjunctive(And((leaf(P1), And((leaf(P2), leaf(P3))))))
+
+    def test_dnf_shape_detection(self):
+        assert is_dnf_shaped(parse("(a = 1 and b = 2) or c = 3"))
+        assert is_dnf_shaped(parse("a = 1 and b = 2"))
+        assert not is_dnf_shaped(parse("(a = 1 or b = 2) and c = 3"))

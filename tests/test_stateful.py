@@ -1,0 +1,114 @@
+"""Stateful property test: engine lifecycle against a reference model.
+
+A hypothesis rule-based state machine drives a random interleaving of
+subscribe / unsubscribe / publish operations against the non-canonical
+engine (both codecs) and the counting engine, checking every matching
+answer against a trivially-correct model (a dict of expressions
+evaluated directly) and auditing the registry/index bookkeeping
+invariants after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core import CountingEngine, NonCanonicalEngine
+from repro.events import Event
+from repro.indexes import IndexManager
+from repro.predicates import PredicateRegistry
+from repro.subscriptions import Subscription, parse
+
+# a small, fully enumerable expression pool over three attributes so
+# publishes regularly hit matches; NOT-free so the counting engine can
+# participate
+EXPRESSION_POOL = [
+    "a = 1",
+    "a = 1 and b = 2",
+    "a = 1 or b = 2",
+    "(a = 1 or a = 2) and (b = 2 or c < 0)",
+    "b >= 2 and c between [0, 5]",
+    "a in {1, 2, 3} or c > 4",
+    "b != 5 and a <= 2",
+    "(a > 0 and b > 0) or (a < 0 and b < 0)",
+]
+
+EVENT_VALUES = st.fixed_dictionaries(
+    {},
+    optional={
+        "a": st.integers(-2, 4),
+        "b": st.integers(0, 5),
+        "c": st.integers(-2, 6),
+    },
+)
+
+
+class EngineLifecycle(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        registry = PredicateRegistry()
+        indexes = IndexManager()
+        self.engines = [
+            NonCanonicalEngine(registry=registry, indexes=indexes),
+            NonCanonicalEngine(
+                codec="varint", evaluation="encoded",
+                registry=registry, indexes=indexes,
+            ),
+            CountingEngine(
+                support_unsubscription=True,
+                registry=registry, indexes=indexes,
+            ),
+        ]
+        self.registry = registry
+        self.model: dict[int, object] = {}  # sid -> expression
+
+    subscriptions = Bundle("subscriptions")
+
+    @rule(target=subscriptions, text=st.sampled_from(EXPRESSION_POOL))
+    def subscribe(self, text):
+        subscription = Subscription(expression=parse(text))
+        for engine in self.engines:
+            engine.register(subscription)
+        self.model[subscription.subscription_id] = subscription.expression
+        return subscription.subscription_id
+
+    @rule(sid=subscriptions)
+    def unsubscribe(self, sid):
+        if sid not in self.model:
+            return  # already removed through another bundle reference
+        for engine in self.engines:
+            engine.unregister(sid)
+        del self.model[sid]
+
+    @rule(values=EVENT_VALUES)
+    def publish(self, values):
+        event = Event(values)
+        expected = {
+            sid for sid, expression in self.model.items()
+            if expression.matches(event)
+        }
+        for engine in self.engines:
+            assert engine.match(event) == expected, engine.name
+
+    @invariant()
+    def engines_agree_on_population(self):
+        for engine in self.engines:
+            assert engine.subscription_count == len(self.model), engine.name
+
+    @invariant()
+    def registry_empty_iff_no_subscriptions(self):
+        if not self.model:
+            assert len(self.registry) == 0
+            assert len(self.engines[0].indexes) == 0
+
+
+EngineLifecycle.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestEngineLifecycle = EngineLifecycle.TestCase

@@ -1,0 +1,159 @@
+"""Unit tests for subscription trees (repro.subscriptions.tree)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predicates import Operator, Predicate, PredicateRegistry
+from repro.subscriptions import (
+    NodeKind,
+    SubscriptionTree,
+    TreeNode,
+    parse,
+)
+
+from .test_ast import random_expressions
+
+
+def compile_text(text):
+    registry = PredicateRegistry()
+    tree = SubscriptionTree.from_expression(parse(text), registry.register)
+    return tree, registry
+
+
+class TestTreeNodeValidation:
+    def test_leaf_needs_positive_id(self):
+        with pytest.raises(ValueError):
+            TreeNode(NodeKind.LEAF, predicate_id=0)
+
+    def test_leaf_takes_no_children(self):
+        with pytest.raises(ValueError):
+            TreeNode(
+                NodeKind.LEAF,
+                predicate_id=1,
+                children=(TreeNode(NodeKind.LEAF, predicate_id=2),),
+            )
+
+    def test_not_takes_exactly_one_child(self):
+        child = TreeNode(NodeKind.LEAF, predicate_id=1)
+        TreeNode(NodeKind.NOT, children=(child,))
+        with pytest.raises(ValueError):
+            TreeNode(NodeKind.NOT, children=(child, child))
+
+    def test_nary_needs_two_children(self):
+        child = TreeNode(NodeKind.LEAF, predicate_id=1)
+        with pytest.raises(ValueError):
+            TreeNode(NodeKind.AND, children=(child,))
+
+
+class TestCompilation:
+    def test_leaves_carry_registry_ids(self):
+        tree, registry = compile_text("a > 1 and b = 2")
+        assert tree.predicate_ids() == {1, 2}
+        assert registry.predicate(1).attribute in ("a", "b")
+
+    def test_compilation_flattens(self):
+        tree, _ = compile_text("a = 1 and b = 2 and c = 3")
+        assert tree.root.kind is NodeKind.AND
+        assert len(tree.root.children) == 3
+
+    def test_shared_predicate_one_id(self):
+        tree, registry = compile_text("a = 1 or (a = 1 and b = 2)")
+        assert len(registry) == 2
+
+    def test_node_count(self):
+        tree, _ = compile_text("(a = 1 or b = 2) and c = 3")
+        # AND root + OR + 3 leaves
+        assert tree.node_count() == 5
+
+    def test_roundtrip_to_expression(self):
+        expression = parse("(a > 1 or b <= 2) and not c = 3")
+        registry = PredicateRegistry()
+        tree = SubscriptionTree.from_expression(expression, registry.register)
+        back = tree.to_expression(registry.predicate)
+        assert back == expression.flattened()
+
+
+class TestEvaluation:
+    def test_and_evaluation(self):
+        tree, _ = compile_text("a = 1 and b = 2")
+        ids = tree.predicate_ids()
+        assert tree.evaluate(ids)
+        assert not tree.evaluate(set(list(ids)[:1]))
+
+    def test_or_evaluation(self):
+        tree, _ = compile_text("a = 1 or b = 2")
+        for pid in tree.predicate_ids():
+            assert tree.evaluate({pid})
+        assert not tree.evaluate(set())
+
+    def test_not_evaluation(self):
+        tree, _ = compile_text("not a = 1")
+        assert tree.evaluate(set())
+        assert not tree.evaluate(tree.predicate_ids())
+
+    def test_paper_example(self):
+        tree, registry = compile_text(
+            "(a > 10 or a <= 5 or b = 1) and (c <= 20 or c = 30 or d = 5)"
+        )
+        by_str = {str(registry.predicate(pid)): pid for pid in tree.predicate_ids()}
+        assert tree.evaluate({by_str["a > 10"], by_str["c = 30"]})
+        assert not tree.evaluate({by_str["a > 10"], by_str["a <= 5"]})
+
+    @given(random_expressions(), st.sets(st.integers(1, 6)))
+    def test_tree_agrees_with_ast(self, expression, fulfilled):
+        registry = PredicateRegistry()
+        tree = SubscriptionTree.from_expression(expression, registry.register)
+        expected = expression.evaluate_with_ids(fulfilled, registry.identifier)
+        assert tree.evaluate(fulfilled) == expected
+
+
+class TestReordering:
+    def test_and_puts_least_likely_first(self):
+        tree, _ = compile_text("a = 1 and b = 2")
+        ids = sorted(tree.predicate_ids())
+        selectivity = {ids[0]: 0.9, ids[1]: 0.1}
+        reordered = tree.reordered_by_selectivity(selectivity)
+        assert reordered.root.children[0].predicate_id == ids[1]
+
+    def test_or_puts_most_likely_first(self):
+        tree, _ = compile_text("a = 1 or b = 2")
+        ids = sorted(tree.predicate_ids())
+        selectivity = {ids[0]: 0.1, ids[1]: 0.9}
+        reordered = tree.reordered_by_selectivity(selectivity)
+        assert reordered.root.children[0].predicate_id == ids[1]
+
+    def test_reordering_recurses_into_groups(self):
+        tree, _ = compile_text("(a = 1 or b = 2) and (c = 3 or d = 4)")
+        ids = sorted(tree.predicate_ids())
+        # make the second OR group very likely true -> it should move last
+        selectivity = {ids[0]: 0.5, ids[1]: 0.5, ids[2]: 0.99, ids[3]: 0.99}
+        reordered = tree.reordered_by_selectivity(selectivity)
+        first_group_ids = {c.predicate_id for c in reordered.root.children[0].children}
+        assert first_group_ids == {ids[0], ids[1]}
+
+    @given(random_expressions(), st.sets(st.integers(1, 6)))
+    def test_reordering_preserves_semantics(self, expression, fulfilled):
+        registry = PredicateRegistry()
+        tree = SubscriptionTree.from_expression(expression, registry.register)
+        selectivity = {pid: (pid % 10) / 10 for pid in tree.predicate_ids()}
+        reordered = tree.reordered_by_selectivity(selectivity)
+        assert reordered.evaluate(fulfilled) == tree.evaluate(fulfilled)
+
+    def test_missing_selectivity_defaults(self):
+        tree, _ = compile_text("a = 1 and b = 2")
+        reordered = tree.reordered_by_selectivity({})
+        assert reordered.predicate_ids() == tree.predicate_ids()
+
+
+class TestEqualityAndRepr:
+    def test_structural_equality(self):
+        first, _ = compile_text("a = 1 and b = 2")
+        second, _ = compile_text("a = 1 and b = 2")
+        assert first == second
+
+    def test_repr_shows_structure(self):
+        tree, _ = compile_text("a = 1 and b = 2")
+        assert "AND" in repr(tree)

@@ -1,0 +1,161 @@
+"""Tests for variance-controlled measurement and matching profiling."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import CountingEngine, NonCanonicalEngine
+from repro.experiments.profiling import (
+    MatchingProfile,
+    engine_comparison_summary,
+    profile_matching,
+)
+from repro.experiments.variance import Measurement, measure_until_stable
+from repro.workloads import FulfilledPredicateSampler, PaperSubscriptionGenerator
+
+
+class _FakeClock:
+    """Deterministic clock emitting configurable per-run durations."""
+
+    def __init__(self, durations):
+        self._times = itertools.accumulate(
+            itertools.chain.from_iterable((0.0, d) for d in durations)
+        )
+        self._iter = iter(self._times)
+        self._durations = durations
+
+    def __call__(self):
+        return next(self._iter)
+
+
+class TestMeasureUntilStable:
+    def test_stable_immediately(self):
+        clock = _FakeClock([1.0] * 20)
+        result = measure_until_stable(
+            lambda: None, min_runs=3, max_runs=10,
+            discard_warmup=0, clock=clock,
+        )
+        assert result.stable
+        assert result.runs == 3
+        assert result.mean_seconds == pytest.approx(1.0)
+        assert result.coefficient_of_variation <= 0.01
+
+    def test_unstable_hits_cap(self):
+        # alternating fast/slow runs never reach 1% CV
+        clock = _FakeClock([1.0, 2.0] * 30)
+        result = measure_until_stable(
+            lambda: None, min_runs=3, max_runs=8,
+            discard_warmup=0, clock=clock,
+        )
+        assert not result.stable
+        assert result.runs == 8
+
+    def test_stabilizes_after_mild_noise(self):
+        clock = _FakeClock([1.02] + [1.0] * 30)
+        result = measure_until_stable(
+            lambda: None, min_runs=3, max_runs=30,
+            discard_warmup=0, clock=clock,
+        )
+        assert result.stable
+        assert result.runs > 3  # the noisy first sample delayed stability
+
+    def test_large_outlier_reported_unstable(self):
+        # a 5x outlier cannot be averaged below 1% CV within the cap;
+        # the result must say so rather than pretend stability
+        clock = _FakeClock([5.0] + [1.0] * 30)
+        result = measure_until_stable(
+            lambda: None, min_runs=3, max_runs=20,
+            discard_warmup=0, clock=clock,
+        )
+        assert not result.stable
+        assert result.runs == 20
+
+    def test_warmup_discarded(self):
+        calls = []
+        clock = _FakeClock([1.0] * 10)
+        measure_until_stable(
+            lambda: calls.append(1), min_runs=3, max_runs=5,
+            discard_warmup=2, clock=clock,
+        )
+        assert len(calls) >= 5  # 2 warmup + 3 measured
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            measure_until_stable(lambda: None, min_runs=1)
+        with pytest.raises(ValueError):
+            measure_until_stable(lambda: None, min_runs=5, max_runs=4)
+        with pytest.raises(ValueError):
+            measure_until_stable(lambda: None, target_cv=0)
+
+    def test_real_timing_smoke(self):
+        result = measure_until_stable(
+            lambda: sum(range(500)), target_cv=0.8,
+            min_runs=3, max_runs=10,
+        )
+        assert result.mean_seconds > 0
+        assert len(result.samples) == result.runs
+
+
+class TestProfiling:
+    @pytest.fixture
+    def loaded(self):
+        engine = NonCanonicalEngine()
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=6, seed=9
+        )
+        for subscription in generator.subscriptions(100):
+            engine.register(subscription)
+        sampler = FulfilledPredicateSampler(
+            predicate_ids=range(1, len(engine.registry) + 1),
+            fulfilled_per_event=30,
+            seed=10,
+        )
+        return engine, sampler.samples(20)
+
+    def test_profile_shape(self, loaded):
+        engine, sets = loaded
+        profile = profile_matching(engine, sets)
+        assert profile.events == 20
+        assert profile.mean_fulfilled == pytest.approx(30.0)
+        # unique predicates: at most one candidate per fulfilled predicate
+        assert profile.mean_candidates <= profile.mean_fulfilled
+        assert 0.0 < profile.candidate_fraction < 1.0
+        assert 0.0 <= profile.selectivity <= 1.0
+        assert "candidates" in str(profile)
+
+    def test_candidates_bound_phase2_work(self, loaded):
+        """The paper's §4.1 mechanism: phase-2 work tracks candidates,
+        not the registered population."""
+        engine, sets = loaded
+        profile = profile_matching(engine, sets)
+        assert profile.mean_candidates < engine.subscription_count / 2
+
+    def test_empty_sets_rejected(self, loaded):
+        engine, _ = loaded
+        with pytest.raises(ValueError):
+            profile_matching(engine, [])
+
+    def test_engine_comparison_summary(self):
+        from repro.indexes import IndexManager
+        from repro.predicates import PredicateRegistry
+
+        registry, indexes = PredicateRegistry(), IndexManager()
+        nc = NonCanonicalEngine(registry=registry, indexes=indexes)
+        counting = CountingEngine(registry=registry, indexes=indexes)
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=8, seed=4
+        )
+        for subscription in generator.subscriptions(10):
+            nc.register(subscription)
+            counting.register(subscription)
+        summary = dict(
+            (name, (originals, stored, memory))
+            for name, originals, stored, memory in (
+                engine_comparison_summary([nc, counting])
+            )
+        )
+        assert summary["non-canonical"][0] == summary["counting"][0] == 10
+        assert summary["counting"][1] == 160  # 16 clauses each
+        assert summary["counting"][2] > summary["non-canonical"][2]
