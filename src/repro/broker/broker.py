@@ -11,7 +11,7 @@ than designated servers).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..core.base import FilterEngine
 from ..core.noncanonical import NonCanonicalEngine
@@ -37,6 +37,7 @@ class BrokerStats:
 
     events_published: int = 0
     events_matched: int = 0          # events with >= 1 local match
+    batches_published: int = 0       # publish_batch invocations
     notifications_delivered: int = 0
     subscriptions_registered: int = 0
     subscriptions_removed: int = 0
@@ -142,6 +143,47 @@ class Broker:
         matched = self.engine.match(event)
         if matched:
             self.stats.events_matched += 1
+        notifications = self._deliver(event, matched)
+        self.stats.notifications_delivered += len(notifications)
+        return notifications
+
+    def publish_batch(
+        self, events: Sequence[Event]
+    ) -> list[list[Notification]]:
+        """Match a batch with one engine invocation; deliver per event.
+
+        Result ``i`` equals ``publish(events[i])``'s return value, but
+        the engine is entered once for the whole batch
+        (:meth:`~repro.core.base.FilterEngine.match_batch`), amortizing
+        phase-1 probes and phase-2 dispatch.  Schema validation happens
+        up front for the *whole* batch, so a violating event rejects the
+        batch before any notification is delivered.
+
+        Raises
+        ------
+        SchemaViolationError
+            When a schema is configured and any event does not conform.
+        """
+        events = list(events)
+        if self.schema is not None:
+            for event in events:
+                self.schema.validate(event)
+        self.stats.events_published += len(events)
+        self.stats.batches_published += 1
+        matched_sets = self.engine.match_batch(events)
+        batched: list[list[Notification]] = []
+        delivered = 0
+        for event, matched in zip(events, matched_sets):
+            if matched:
+                self.stats.events_matched += 1
+            notifications = self._deliver(event, matched)
+            delivered += len(notifications)
+            batched.append(notifications)
+        self.stats.notifications_delivered += delivered
+        return batched
+
+    def _deliver(self, event: Event, matched: set[int]) -> list[Notification]:
+        """Build and deliver notifications for one matched event."""
         notifications = []
         for subscription_id in sorted(matched):
             subscription = self._subscriptions.get(subscription_id)
@@ -158,7 +200,6 @@ class Broker:
             if callback is not None:
                 callback(notification)
             notifications.append(notification)
-        self.stats.notifications_delivered += len(notifications)
         return notifications
 
     def notify_local(self, event: Event, subscription_id: int) -> Notification:

@@ -90,3 +90,12 @@ class Publisher:
             event = Event(event)
         self.published_count += 1
         return self.broker.publish(event)
+
+    def publish_batch(self, events) -> list[list[Notification]]:
+        """Publish a batch through the broker's batched matching path."""
+        prepared = [
+            event if isinstance(event, Event) else Event(event)
+            for event in events
+        ]
+        self.published_count += len(prepared)
+        return self.broker.publish_batch(prepared)

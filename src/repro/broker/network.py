@@ -25,6 +25,7 @@ the paper analyses — :meth:`BrokerNetwork.memory_report` surfaces it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..events.event import Event
 from ..subscriptions.covering import covers
@@ -41,8 +42,11 @@ class NetworkStats:
     """Network-wide counters."""
 
     events_published: int = 0
-    broker_hops: int = 0          # broker-to-broker event transmissions
-    matches_computed: int = 0     # per-broker matching invocations
+    batches_published: int = 0    # publish_batch invocations
+    broker_hops: int = 0          # broker-to-broker transmissions (a
+                                  # forwarded batch counts one hop)
+    matches_computed: int = 0     # per-broker matching invocations (one
+                                  # match_batch call counts one)
     notifications_delivered: int = 0
     subscription_floods: int = 0  # broker-to-broker subscription transmissions
     suppressed_registrations: int = 0  # covering-elided remote registrations
@@ -274,6 +278,67 @@ class BrokerNetwork:
                 self.stats.broker_hops += 1
                 frontier.append((current, neighbor))
         self.stats.notifications_delivered += len(deliveries)
+        return deliveries
+
+    def publish_batch(
+        self, broker_name: str, events: Sequence[Event]
+    ) -> list[list[Notification]]:
+        """Publish a batch at ``broker_name``; one matching invocation per
+        broker per batch.
+
+        Result ``i`` holds the same notifications ``publish(broker_name,
+        events[i])`` would produce; only their order within the list may
+        differ, since the batched traversal visits brokers in its own
+        order.  Routing is batched end to end: each
+        broker the batch reaches matches its event subset with a single
+        :meth:`~repro.core.base.FilterEngine.match_batch` call, and the
+        subset bound for each neighbor is forwarded as one grouped
+        transmission (one ``broker_hops`` increment), which is how a real
+        overlay would ship a frame of events.
+        """
+        events = list(events)
+        home = self.broker(broker_name).name
+        self.stats.events_published += len(events)
+        self.stats.batches_published += 1
+        deliveries: list[list[Notification]] = [[] for _ in events]
+        if not events:
+            return deliveries
+        delivered = 0
+        #: (came_from, current, indices of events reaching ``current``)
+        frontier: list[tuple[str | None, str, list[int]]] = [
+            (None, home, list(range(len(events))))
+        ]
+        while frontier:
+            came_from, current, indices = frontier.pop()
+            broker = self._brokers[current]
+            subset = [events[index] for index in indices]
+            if broker.schema is not None:
+                for event in subset:
+                    broker.schema.validate(event)
+            matched_sets = broker.engine.match_batch(subset)
+            self.stats.matches_computed += 1
+            broker.stats.events_published += len(subset)
+            next_hop = self._next_hop[current]
+            forward: dict[str, list[int]] = {}
+            for index, matched in zip(indices, matched_sets):
+                if matched:
+                    broker.stats.events_matched += 1
+                forwarded_to: set[str] = set()
+                for sid in sorted(matched):
+                    hop = next_hop.get(sid)
+                    if hop is None:
+                        # this broker is the subscription's home: deliver
+                        deliveries[index].append(
+                            broker.notify_local(events[index], sid)
+                        )
+                        delivered += 1
+                    elif hop != came_from and hop not in forwarded_to:
+                        forwarded_to.add(hop)
+                        forward.setdefault(hop, []).append(index)
+            for neighbor, neighbor_indices in forward.items():
+                self.stats.broker_hops += 1
+                frontier.append((current, neighbor, neighbor_indices))
+        self.stats.notifications_delivered += delivered
         return deliveries
 
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ plots.
 from __future__ import annotations
 
 import abc
-from typing import AbstractSet, Iterable, Mapping
+from typing import AbstractSet, Iterable, Mapping, Sequence
 
 from ..events.event import Event
 from ..indexes.manager import IndexManager
@@ -101,6 +101,29 @@ class FilterEngine(abc.ABC):
     @abc.abstractmethod
     def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
         """Phase 2 only: match given the fulfilled predicate id set."""
+
+    def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
+        """Two-phase matching over a batch of events.
+
+        One phase-1 invocation (:meth:`IndexManager.match_batch`, which
+        memoizes repeated attribute values across the batch) feeds one
+        phase-2 batch call.  Result ``i`` equals ``match(events[i])`` —
+        engines override :meth:`match_fulfilled_batch` for throughput,
+        never for different answers.
+        """
+        return self.match_fulfilled_batch(self.indexes.match_batch(list(events)))
+
+    def match_fulfilled_batch(
+        self, fulfilled_sets: Sequence[AbstractSet[int]]
+    ) -> list[set[int]]:
+        """Phase 2 over a batch of fulfilled predicate id sets.
+
+        The default delegates to :meth:`match_fulfilled` per event, so
+        every engine is batch-correct by construction; engines override
+        it to amortize per-event work (candidate buffers, vector
+        zeroing, page reads) across the batch.
+        """
+        return [self.match_fulfilled(fulfilled) for fulfilled in fulfilled_sets]
 
     # ------------------------------------------------------------------
     # memory accounting

@@ -15,7 +15,7 @@ every other engine is property-tested against it.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Mapping
+from typing import AbstractSet, Mapping, Sequence
 
 from ..events.event import Event
 from ..indexes.manager import IndexManager
@@ -84,6 +84,11 @@ class BruteForceEngine(FilterEngine):
             if subscription.matches(event)
         }
 
+    def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
+        """Per-event direct evaluation — this engine's ``match`` bypasses
+        the shared indexes, so its batch path must too."""
+        return [self.match(event) for event in events]
+
     def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
         """Phase-2-only mode: evaluate every tree, no candidate selection."""
         return {
@@ -91,6 +96,20 @@ class BruteForceEngine(FilterEngine):
             for sid, tree in self._trees.items()
             if tree.evaluate(fulfilled_ids)
         }
+
+    def match_fulfilled_batch(
+        self, fulfilled_sets: Sequence[AbstractSet[int]]
+    ) -> list[set[int]]:
+        """Batch phase-2-only mode: identical assignments evaluate once."""
+        memo: dict[frozenset[int], set[int]] = {}
+        results: list[set[int]] = []
+        for fulfilled_ids in fulfilled_sets:
+            key = frozenset(fulfilled_ids)
+            cached = memo.get(key)
+            if cached is None:
+                cached = memo[key] = self.match_fulfilled(key)
+            results.append(set(cached))
+        return results
 
     def memory_breakdown(self) -> Mapping[str, int]:
         """Tree bytes under the basic encoding cost model (no tables).

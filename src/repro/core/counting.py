@@ -29,7 +29,7 @@ difference.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Mapping
+from typing import AbstractSet, Mapping, Sequence
 
 from ..indexes.manager import IndexManager
 from ..memory.cost_model import DEFAULT_COST_MODEL, CostModel
@@ -256,6 +256,36 @@ class CountingEngine(FilterEngine):
         hits[:] = bytes(len(hits))  # zero for the next event
         return matched
 
+    def match_fulfilled_batch(
+        self, fulfilled_sets: Sequence[AbstractSet[int]]
+    ) -> list[set[int]]:
+        """Batch counting: one zero-template and hoisted table locals.
+
+        The per-event full-clause comparison is preserved — it is the
+        linear-in-N behaviour the engine exists to exhibit — but the
+        zeroing buffer and the attribute lookups are paid once per batch
+        instead of once per event.
+        """
+        hits = self._hits
+        association = self._association
+        counts = self._counts
+        clause_subscription = self._clause_subscription
+        zero = bytes(len(hits))
+        results: list[set[int]] = []
+        for fulfilled_ids in fulfilled_sets:
+            for pid in fulfilled_ids:
+                clauses = association.get(pid)
+                if clauses is not None:
+                    for clause_index in clauses:
+                        hits[clause_index] += 1
+            matched: set[int] = set()
+            for clause_index, required in enumerate(counts):
+                if required and hits[clause_index] == required:
+                    matched.add(clause_subscription[clause_index])
+            hits[:] = zero
+            results.append(matched)
+        return results
+
     def subscriber_of(self, subscription_id: int) -> str | None:
         """The subscriber registered for ``subscription_id``."""
         try:
@@ -326,3 +356,32 @@ class CountingVariantEngine(CountingEngine):
                     matched.add(clause_subscription[clause_index])
                 hits[clause_index] = 0
         return matched
+
+    def match_fulfilled_batch(
+        self, fulfilled_sets: Sequence[AbstractSet[int]]
+    ) -> list[set[int]]:
+        """Batch variant counting: touched-clause buffer reused per event."""
+        hits = self._hits
+        association = self._association
+        counts = self._counts
+        clause_subscription = self._clause_subscription
+        touched: list[int] = []
+        extend = touched.extend
+        results: list[set[int]] = []
+        for fulfilled_ids in fulfilled_sets:
+            touched.clear()
+            for pid in fulfilled_ids:
+                clauses = association.get(pid)
+                if clauses is not None:
+                    extend(clauses)
+                    for clause_index in clauses:
+                        hits[clause_index] += 1
+            matched: set[int] = set()
+            for clause_index in touched:
+                hit = hits[clause_index]
+                if hit:  # first visit of this clause; reset as we go
+                    if hit == counts[clause_index]:
+                        matched.add(clause_subscription[clause_index])
+                    hits[clause_index] = 0
+            results.append(matched)
+        return results

@@ -21,7 +21,7 @@ count — not the registered subscription count.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Mapping
+from typing import AbstractSet, Mapping, Sequence
 
 from ..indexes.manager import IndexManager
 from ..memory.cost_model import DEFAULT_COST_MODEL, CostModel
@@ -186,6 +186,32 @@ class NonCanonicalEngine(FilterEngine):
             referencing = association.get(pid)
             if referencing is not None:
                 candidates.update(referencing)
+        return self._match_candidates(candidates, fulfilled_ids)
+
+    def match_fulfilled_batch(
+        self, fulfilled_sets: Sequence[AbstractSet[int]]
+    ) -> list[set[int]]:
+        """Batch phase 2: one candidate buffer, compiled forms looked up
+        through hoisted locals, reused across every event in the batch."""
+        association = self._association
+        empty_matchers = self._empty_assignment_matchers
+        match_candidates = self._match_candidates
+        candidates: set[int] = set()
+        results: list[set[int]] = []
+        for fulfilled_ids in fulfilled_sets:
+            candidates.clear()
+            candidates.update(empty_matchers)
+            for pid in fulfilled_ids:
+                referencing = association.get(pid)
+                if referencing is not None:
+                    candidates.update(referencing)
+            results.append(match_candidates(candidates, fulfilled_ids))
+        return results
+
+    def _match_candidates(
+        self, candidates: AbstractSet[int], fulfilled_ids: AbstractSet[int]
+    ) -> set[int]:
+        """Evaluate each candidate's subscription tree on the assignment."""
         matched: set[int] = set()
         if self._evaluation == "compiled":
             compiled = self._compiled

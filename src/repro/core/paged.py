@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import tempfile
 from collections import OrderedDict
-from typing import AbstractSet, Mapping
+from typing import AbstractSet, Mapping, Sequence
 
 from ..indexes.manager import IndexManager
 from ..memory.cost_model import DEFAULT_COST_MODEL, CostModel
@@ -251,6 +251,47 @@ class PagedNonCanonicalEngine(FilterEngine):
             if evaluate(encoded, 0, width, fulfilled_ids):
                 matched.add(sid)
         return matched
+
+    def match_fulfilled_batch(
+        self, fulfilled_sets: Sequence[AbstractSet[int]]
+    ) -> list[set[int]]:
+        """Batch phase 2 with one offset-ordered pass over the store.
+
+        Candidate sets are computed for the whole batch first, then every
+        distinct candidate tree is read exactly once, in arena-offset
+        order — sequential page access, so a page shared by several
+        candidates (or several events) enters the LRU cache once per
+        batch instead of once per use.  The decoded bytes are held only
+        for the duration of the batch.
+        """
+        fulfilled_sets = list(fulfilled_sets)
+        association = self._association
+        empty_matchers = self._empty_assignment_matchers
+        per_event: list[set[int]] = []
+        needed: set[int] = set()
+        for fulfilled_ids in fulfilled_sets:
+            candidates = set(empty_matchers)
+            for pid in fulfilled_ids:
+                referencing = association.get(pid)
+                if referencing is not None:
+                    candidates.update(referencing)
+            per_event.append(candidates)
+            needed.update(candidates)
+        locations = self._locations
+        read = self._store.read
+        encoded: dict[int, bytes] = {}
+        for sid in sorted(needed, key=lambda s: locations[s][0]):
+            offset, width = locations[sid]
+            encoded[sid] = read(offset, width)
+        evaluate = self._codec.evaluate
+        results: list[set[int]] = []
+        for fulfilled_ids, candidates in zip(fulfilled_sets, per_event):
+            matched: set[int] = set()
+            for sid in candidates:
+                if evaluate(encoded[sid], 0, locations[sid][1], fulfilled_ids):
+                    matched.add(sid)
+            results.append(matched)
+        return results
 
     def memory_breakdown(self) -> Mapping[str, int]:
         """RAM only: tables plus the page-cache budget — no trees.

@@ -7,15 +7,19 @@ warning).
 """
 
 from .harness import (
+    DEFAULT_BATCH_SIZES,
     DEFAULT_ENGINE_FACTORIES,
     EngineSweep,
     SweepPoint,
     SweepResult,
+    ThroughputPoint,
     crossover_subscriptions,
     growth_ratio,
     least_squares_slope,
+    measure_throughput,
     normalized_slope,
     run_sweep,
+    run_throughput_sweep,
     time_subscription_matching,
 )
 from .parameters import (
@@ -35,15 +39,19 @@ from .report import ascii_plot, format_bytes, format_seconds, format_table
 from .variance import Measurement, measure_until_stable
 
 __all__ = [
+    "DEFAULT_BATCH_SIZES",
     "DEFAULT_ENGINE_FACTORIES",
     "EngineSweep",
     "SweepPoint",
     "SweepResult",
+    "ThroughputPoint",
     "crossover_subscriptions",
     "growth_ratio",
     "least_squares_slope",
+    "measure_throughput",
     "normalized_slope",
     "run_sweep",
+    "run_throughput_sweep",
     "time_subscription_matching",
     "FULL_SCALE",
     "PAPER_PARAMETERS",

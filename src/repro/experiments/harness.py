@@ -28,10 +28,12 @@ from typing import Callable, Sequence
 from ..core.base import FilterEngine
 from ..core.counting import CountingEngine, CountingVariantEngine
 from ..core.noncanonical import NonCanonicalEngine
+from ..events.event import Event
 from ..indexes.manager import IndexManager
 from ..memory.model import SimulatedMachine
 from ..predicates.registry import PredicateRegistry
 from ..workloads.generator import (
+    EventGenerator,
     FulfilledPredicateSampler,
     PaperSubscriptionGenerator,
 )
@@ -208,6 +210,156 @@ def _assert_engines_agree(
                 f"engine disagreement: {engine.name} != {reference_name} "
                 f"({len(answer)} vs {len(reference)} matches)"
             )
+
+
+# ----------------------------------------------------------------------
+# batched throughput (events/sec at a given batch size)
+# ----------------------------------------------------------------------
+#: Batch sizes the batched sweep reports by default.
+DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 32, 256)
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """Events/sec of one engine's full pipeline at one batch size."""
+
+    engine: str
+    batch_size: int
+    events: int                   # events matched per repeat
+    seconds: float                # best-of-repeats wall time for them
+    events_per_second: float
+
+
+def measure_throughput(
+    engine: FilterEngine,
+    events: Sequence[Event],
+    *,
+    batch_size: int,
+    repeats: int = 3,
+) -> ThroughputPoint:
+    """Full-pipeline (phase 1 + phase 2) events/sec at one batch size.
+
+    ``batch_size == 1`` deliberately takes the historical one-event-at-a-
+    time path (``engine.match`` per event) so it measures exactly the
+    per-event dispatch overhead that batching amortizes; larger sizes
+    chunk the stream through :meth:`FilterEngine.match_batch`.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    events = list(events)
+    if not events:
+        raise ValueError("need at least one event")
+    chunks = [
+        events[start:start + batch_size]
+        for start in range(0, len(events), batch_size)
+    ]
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        if batch_size == 1:
+            match = engine.match
+            start = time.perf_counter()
+            for event in events:
+                match(event)
+            elapsed = time.perf_counter() - start
+        else:
+            match_batch = engine.match_batch
+            start = time.perf_counter()
+            for chunk in chunks:
+                match_batch(chunk)
+            elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return ThroughputPoint(
+        engine=engine.name,
+        batch_size=batch_size,
+        events=len(events),
+        seconds=best,
+        events_per_second=len(events) / best if best > 0 else float("inf"),
+    )
+
+
+def run_throughput_sweep(
+    *,
+    subscription_count: int,
+    predicates_per_subscription: int = 6,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    event_count: int = 512,
+    attribute_pool: int = 64,
+    attributes_per_event: int = 16,
+    value_range: int = 64,
+    skew: float = 1.1,
+    engine_factories: Sequence[EngineFactory] = DEFAULT_ENGINE_FACTORIES,
+    seed: int = 0,
+    repeats: int = 3,
+    verify_agreement: bool = True,
+) -> dict[str, list[ThroughputPoint]]:
+    """The batched sweep: events/sec per engine per batch size.
+
+    All engines share one registry and index manager (identical phase 1,
+    as everywhere in the reproduction) and are loaded with the same
+    paper-shaped subscription population.  The event stream is
+    Zipf-skewed over a small value domain so attribute values repeat
+    across a batch — the regime the phase-1 batch memoization targets.
+
+    With ``verify_agreement`` every engine's ``match_batch`` output for
+    the first batch is checked against its own per-event ``match``
+    (batch-vs-sequential parity) and against the other engines
+    (engine agreement) before anything is timed.
+    """
+    registry = PredicateRegistry()
+    indexes = IndexManager()
+    engines = [
+        factory(registry=registry, indexes=indexes)
+        for factory in engine_factories
+    ]
+    names = [engine.name for engine in engines]
+    if len(set(names)) != len(names):
+        raise ValueError(
+            f"engine factories must yield distinct engine names, got {names}; "
+            "results are keyed by name"
+        )
+    generator = PaperSubscriptionGenerator(
+        predicates_per_subscription=predicates_per_subscription,
+        attribute_pool=attribute_pool,
+        seed=seed,
+    )
+    for subscription in generator.subscriptions(subscription_count):
+        for engine in engines:
+            engine.register(subscription)
+    events = EventGenerator(
+        attribute_pool=attribute_pool,
+        attributes_per_event=attributes_per_event,
+        value_range=value_range,
+        skew=skew,
+        seed=seed + 1,
+    ).events(event_count)
+    if verify_agreement:
+        probe = events[:min(32, len(events))]
+        reference: list[set[int]] | None = None
+        reference_name = ""
+        for engine in engines:
+            batched = engine.match_batch(probe)
+            sequential = [engine.match(event) for event in probe]
+            if batched != sequential:
+                raise AssertionError(
+                    f"{engine.name}: match_batch disagrees with per-event match"
+                )
+            if reference is None:
+                reference, reference_name = batched, engine.name
+            elif batched != reference:
+                raise AssertionError(
+                    f"engine disagreement: {engine.name} != {reference_name}"
+                )
+    results: dict[str, list[ThroughputPoint]] = {
+        engine.name: [] for engine in engines
+    }
+    for engine in engines:
+        for batch_size in batch_sizes:
+            results[engine.name].append(
+                measure_throughput(
+                    engine, events, batch_size=batch_size, repeats=repeats
+                )
+            )
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,17 @@ attribute's predicates need (created lazily).  ``match(event)`` walks the
 event's attributes once — "applying indexes means to evaluate each
 attribute only once" (§2.1) — and returns the full set of fulfilled
 predicate identifiers, which is the input every engine's phase 2
-consumes.
+consumes.  ``match_batch(events)`` is the throughput-oriented entry
+point: it memoizes per-attribute probes across the batch so every
+distinct ``(attribute, value)`` pair is evaluated once per batch, no
+matter how many events repeat it (Zipf workloads repeat heavily).
+
+Operator dispatch is declarative: :data:`OPERATOR_SLOTS` binds each
+:class:`~repro.predicates.operators.Operator` to the bundle slot that
+stores its predicates, and :data:`VALUE_PROBES` lists the probes
+``match`` runs against an event value.  Registering a new operator means
+adding one slot entry (and, if it introduces a new structure, one probe)
+— ``add``, ``remove`` and ``_match_attribute`` need no changes.
 
 All engines share this phase; the paper's comparison (and ours) is about
 what happens *after* it.
@@ -19,7 +29,8 @@ what happens *after* it.
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..events.event import Event
 from ..predicates.operators import Operator
@@ -72,6 +83,160 @@ class AttributeIndexes:
         return all(len(iv) == 0 for iv in self.intervals.values())
 
 
+# ----------------------------------------------------------------------
+# declarative operator -> slot dispatch
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OperatorSlot:
+    """Where one operator family stores its predicates.
+
+    ``find`` returns the existing structure for a predicate (or ``None``
+    when absent), ``create`` builds and attaches a fresh one, and ``key``
+    maps the predicate to the value inserted into / removed from the
+    structure.  ``add`` and ``remove`` are generic over these three
+    callables.
+    """
+
+    find: Callable[[AttributeIndexes, Predicate], object | None]
+    create: Callable[["IndexManager", AttributeIndexes, Predicate], object]
+    key: Callable[[Predicate], object]
+
+
+def _attribute_slot(
+    attribute: str, factory: Callable[[], object], *, key=lambda p: p.value
+) -> OperatorSlot:
+    """A slot living in a plain ``AttributeIndexes`` attribute."""
+
+    def find(bundle: AttributeIndexes, predicate: Predicate):
+        return getattr(bundle, attribute)
+
+    def create(manager: "IndexManager", bundle: AttributeIndexes, predicate):
+        index = factory()
+        setattr(bundle, attribute, index)
+        return index
+
+    return OperatorSlot(find=find, create=create, key=key)
+
+
+def _order_slot(operator: Operator) -> OperatorSlot:
+    """A slot keyed by (operator, operand domain) in ``order_trees``."""
+
+    def find(bundle: AttributeIndexes, predicate: Predicate):
+        return bundle.order_trees.get((operator, _domain(predicate.value)))
+
+    def create(manager: "IndexManager", bundle: AttributeIndexes, predicate):
+        tree = BPlusTree(order=manager._btree_order)
+        bundle.order_trees[(operator, _domain(predicate.value))] = tree
+        return tree
+
+    return OperatorSlot(find=find, create=create, key=lambda p: p.value)
+
+
+def _interval_slot() -> OperatorSlot:
+    """The BETWEEN slot, keyed by the bounds' domain in ``intervals``."""
+
+    def find(bundle: AttributeIndexes, predicate: Predicate):
+        return bundle.intervals.get(_domain(predicate.value[0]))
+
+    def create(manager: "IndexManager", bundle: AttributeIndexes, predicate):
+        index = IntervalIndex()
+        bundle.intervals[_domain(predicate.value[0])] = index
+        return index
+
+    return OperatorSlot(find=find, create=create, key=lambda p: p.value)
+
+
+#: The dispatch registry: one entry per supported operator.  New
+#: operators plug in here without touching ``add``/``remove``/matching.
+OPERATOR_SLOTS: dict[Operator, OperatorSlot] = {
+    Operator.EQ: _attribute_slot("equality", EqualityIndex),
+    Operator.NE: _attribute_slot("not_equal", NotEqualIndex),
+    Operator.IN: _attribute_slot("membership", MembershipIndex),
+    Operator.EXISTS: _attribute_slot("exists", ExistsIndex, key=lambda p: None),
+    Operator.LT: _order_slot(Operator.LT),
+    Operator.LE: _order_slot(Operator.LE),
+    Operator.GT: _order_slot(Operator.GT),
+    Operator.GE: _order_slot(Operator.GE),
+    Operator.BETWEEN: _interval_slot(),
+    Operator.PREFIX: _attribute_slot("prefix", PrefixTrie),
+    Operator.SUFFIX: _attribute_slot("suffix", SuffixTrie),
+    Operator.CONTAINS: _attribute_slot("contains", ContainsScanList),
+}
+
+
+# ----------------------------------------------------------------------
+# declarative value -> probe dispatch (the match side)
+# ----------------------------------------------------------------------
+# Guards select which probes apply to an event value: every value hits
+# the hash-family probes; orderable values (everything but bool) hit the
+# order/interval probes; strings additionally hit the trie probes.
+_GUARD_ALL = "all"
+_GUARD_ORDERED = "ordered"
+_GUARD_STRING = "string"
+
+
+def _simple_probe(attribute: str):
+    def probe(bundle: AttributeIndexes, value) -> Iterable[int]:
+        index = getattr(bundle, attribute)
+        return index.match(value) if index is not None else ()
+
+    return probe
+
+
+def _order_probe(operator: Operator, bound: str, inclusive: bool):
+    # attr < v is fulfilled iff v > value: scan (value, +inf); similarly
+    # for the other comparison operators.
+    def probe(bundle: AttributeIndexes, value) -> Iterable[int]:
+        tree = bundle.order_trees.get((operator, _domain(value)))
+        if tree is None:
+            return ()
+        if bound == "low":
+            return tree.range_ids(low=value, include_low=inclusive)
+        return tree.range_ids(high=value, include_high=inclusive)
+
+    return probe
+
+
+def _interval_probe(bundle: AttributeIndexes, value) -> Iterable[int]:
+    index = bundle.intervals.get(_domain(value))
+    return index.match(value) if index is not None else ()
+
+
+#: (guard, probe) pairs; ``_match_attribute`` runs the probes whose guard
+#: admits the event value and unions their ids.
+VALUE_PROBES: tuple[tuple[str, Callable], ...] = (
+    (_GUARD_ALL, _simple_probe("equality")),
+    (_GUARD_ALL, _simple_probe("not_equal")),
+    (_GUARD_ALL, _simple_probe("membership")),
+    (_GUARD_ALL, _simple_probe("exists")),
+    (_GUARD_ORDERED, _order_probe(Operator.LT, "low", False)),
+    (_GUARD_ORDERED, _order_probe(Operator.LE, "low", True)),
+    (_GUARD_ORDERED, _order_probe(Operator.GT, "high", False)),
+    (_GUARD_ORDERED, _order_probe(Operator.GE, "high", True)),
+    (_GUARD_ORDERED, _interval_probe),
+    (_GUARD_STRING, _simple_probe("prefix")),
+    (_GUARD_STRING, _simple_probe("suffix")),
+    (_GUARD_STRING, _simple_probe("contains")),
+)
+
+_PROBES_BOOL = tuple(p for g, p in VALUE_PROBES if g == _GUARD_ALL)
+_PROBES_NUMERIC = tuple(
+    p for g, p in VALUE_PROBES if g in (_GUARD_ALL, _GUARD_ORDERED)
+)
+_PROBES_STRING = tuple(p for _, p in VALUE_PROBES)
+
+_CACHE_MISS = object()
+
+
+def _probes_for(value) -> tuple[Callable, ...]:
+    """The probe tuple admitted by ``value``'s type (bool before int)."""
+    if isinstance(value, bool):
+        return _PROBES_BOOL
+    if isinstance(value, str):
+        return _PROBES_STRING
+    return _PROBES_NUMERIC
+
+
 class IndexManager:
     """Registers predicates into per-attribute indexes and matches events."""
 
@@ -94,52 +259,14 @@ class IndexManager:
         """
         if predicate_id in self._registered:
             return
+        slot = OPERATOR_SLOTS.get(predicate.operator)
+        if slot is None:  # pragma: no cover - exhaustive over Operator
+            raise NotImplementedError(predicate.operator)
         bundle = self._attributes.setdefault(predicate.attribute, AttributeIndexes())
-        operator = predicate.operator
-        if operator is Operator.EQ:
-            if bundle.equality is None:
-                bundle.equality = EqualityIndex()
-            bundle.equality.insert(predicate.value, predicate_id)
-        elif operator is Operator.NE:
-            if bundle.not_equal is None:
-                bundle.not_equal = NotEqualIndex()
-            bundle.not_equal.insert(predicate.value, predicate_id)
-        elif operator is Operator.IN:
-            if bundle.membership is None:
-                bundle.membership = MembershipIndex()
-            bundle.membership.insert(predicate.value, predicate_id)
-        elif operator is Operator.EXISTS:
-            if bundle.exists is None:
-                bundle.exists = ExistsIndex()
-            bundle.exists.insert(None, predicate_id)
-        elif operator in (Operator.LT, Operator.LE, Operator.GT, Operator.GE):
-            key = (operator, _domain(predicate.value))
-            tree = bundle.order_trees.get(key)
-            if tree is None:
-                tree = BPlusTree(order=self._btree_order)
-                bundle.order_trees[key] = tree
-            tree.insert(predicate.value, predicate_id)
-        elif operator is Operator.BETWEEN:
-            domain = _domain(predicate.value[0])
-            index = bundle.intervals.get(domain)
-            if index is None:
-                index = IntervalIndex()
-                bundle.intervals[domain] = index
-            index.insert(predicate.value, predicate_id)
-        elif operator is Operator.PREFIX:
-            if bundle.prefix is None:
-                bundle.prefix = PrefixTrie()
-            bundle.prefix.insert(predicate.value, predicate_id)
-        elif operator is Operator.SUFFIX:
-            if bundle.suffix is None:
-                bundle.suffix = SuffixTrie()
-            bundle.suffix.insert(predicate.value, predicate_id)
-        elif operator is Operator.CONTAINS:
-            if bundle.contains is None:
-                bundle.contains = ContainsScanList()
-            bundle.contains.insert(predicate.value, predicate_id)
-        else:  # pragma: no cover - exhaustive over Operator
-            raise NotImplementedError(operator)
+        index = slot.find(bundle, predicate)
+        if index is None:
+            index = slot.create(self, bundle, predicate)
+        index.insert(slot.key(predicate), predicate_id)
         self._registered[predicate_id] = predicate
 
     def remove(self, predicate_id: int) -> bool:
@@ -147,28 +274,9 @@ class IndexManager:
         predicate = self._registered.pop(predicate_id, None)
         if predicate is None:
             return False
+        slot = OPERATOR_SLOTS[predicate.operator]
         bundle = self._attributes[predicate.attribute]
-        operator = predicate.operator
-        if operator is Operator.EQ:
-            bundle.equality.remove(predicate.value, predicate_id)
-        elif operator is Operator.NE:
-            bundle.not_equal.remove(predicate.value, predicate_id)
-        elif operator is Operator.IN:
-            bundle.membership.remove(predicate.value, predicate_id)
-        elif operator is Operator.EXISTS:
-            bundle.exists.remove(None, predicate_id)
-        elif operator in (Operator.LT, Operator.LE, Operator.GT, Operator.GE):
-            key = (operator, _domain(predicate.value))
-            bundle.order_trees[key].remove(predicate.value, predicate_id)
-        elif operator is Operator.BETWEEN:
-            domain = _domain(predicate.value[0])
-            bundle.intervals[domain].remove(predicate.value, predicate_id)
-        elif operator is Operator.PREFIX:
-            bundle.prefix.remove(predicate.value, predicate_id)
-        elif operator is Operator.SUFFIX:
-            bundle.suffix.remove(predicate.value, predicate_id)
-        elif operator is Operator.CONTAINS:
-            bundle.contains.remove(predicate.value, predicate_id)
+        slot.find(bundle, predicate).remove(slot.key(predicate), predicate_id)
         if bundle.is_empty():
             del self._attributes[predicate.attribute]
         return True
@@ -179,49 +287,52 @@ class IndexManager:
     def match(self, event: Event) -> set[int]:
         """All predicate ids fulfilled by ``event`` — the phase-1 output."""
         fulfilled: set[int] = set()
+        attributes = self._attributes
         for attribute, value in event.items():
-            bundle = self._attributes.get(attribute)
+            bundle = attributes.get(attribute)
             if bundle is None:
                 continue
             self._match_attribute(bundle, value, fulfilled)
         return fulfilled
 
+    def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
+        """Phase 1 over a batch: one probe per distinct attribute value.
+
+        Events' attribute values are grouped so each per-attribute bundle
+        is probed once per distinct ``(attribute, value)`` pair in the
+        batch; repeated values (heavy under Zipf-skewed workloads) reuse
+        the memoized id set.  The cache key includes the value's concrete
+        type because matching distinguishes ``True`` from ``1`` (and the
+        string/numeric domains) even though they hash equally.
+        """
+        results: list[set[int]] = []
+        cache: dict[tuple[str, type, object], set[int] | None] = {}
+        attributes = self._attributes
+        for event in events:
+            fulfilled: set[int] = set()
+            for attribute, value in event.items():
+                key = (attribute, value.__class__, value)
+                hit = cache.get(key, _CACHE_MISS)
+                if hit is _CACHE_MISS:
+                    bundle = attributes.get(attribute)
+                    if bundle is None:
+                        hit = None
+                    else:
+                        hit = set()
+                        self._match_attribute(bundle, value, hit)
+                    cache[key] = hit
+                if hit:
+                    fulfilled |= hit
+            results.append(fulfilled)
+        return results
+
     def _match_attribute(
         self, bundle: AttributeIndexes, value, fulfilled: set[int]
     ) -> None:
-        is_bool = isinstance(value, bool)
-        if bundle.equality is not None:
-            fulfilled.update(bundle.equality.match(value))
-        if bundle.not_equal is not None:
-            fulfilled.update(bundle.not_equal.match(value))
-        if bundle.membership is not None:
-            fulfilled.update(bundle.membership.match(value))
-        if bundle.exists is not None:
-            fulfilled.update(bundle.exists.match(value))
-        if not is_bool:
-            domain = _domain(value)
-            # attr < v fulfilled iff v > value: scan (value, +inf); similarly
-            # for the other comparison operators.
-            scans = (
-                (Operator.LT, dict(low=value, include_low=False)),
-                (Operator.LE, dict(low=value, include_low=True)),
-                (Operator.GT, dict(high=value, include_high=False)),
-                (Operator.GE, dict(high=value, include_high=True)),
-            )
-            for operator, bounds in scans:
-                tree = bundle.order_trees.get((operator, domain))
-                if tree is not None:
-                    fulfilled.update(tree.range_ids(**bounds))
-            interval_index = bundle.intervals.get(domain)
-            if interval_index is not None:
-                fulfilled.update(interval_index.match(value))
-        if isinstance(value, str):
-            if bundle.prefix is not None:
-                fulfilled.update(bundle.prefix.match(value))
-            if bundle.suffix is not None:
-                fulfilled.update(bundle.suffix.match(value))
-            if bundle.contains is not None:
-                fulfilled.update(bundle.contains.match(value))
+        for probe in _probes_for(value):
+            ids = probe(bundle, value)
+            if ids:
+                fulfilled.update(ids)
 
     # ------------------------------------------------------------------
     # introspection

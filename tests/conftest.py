@@ -1,15 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Non-fixture helpers (engine factories, hypothesis strategies) live in
+``helpers.py`` — test modules import them absolutely, which keeps this
+conftest importable under its pytest-private module name.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import (
-    BruteForceEngine,
-    CountingEngine,
-    CountingVariantEngine,
-    NonCanonicalEngine,
-)
+from helpers import make_all_engines
 from repro.indexes import IndexManager
 from repro.predicates import PredicateRegistry
 from repro.workloads import (
@@ -17,6 +17,8 @@ from repro.workloads import (
     GeneralSubscriptionGenerator,
     PaperSubscriptionGenerator,
 )
+
+__all__ = ["make_all_engines"]
 
 
 @pytest.fixture
@@ -27,30 +29,6 @@ def registry():
 @pytest.fixture
 def indexes():
     return IndexManager()
-
-
-def make_all_engines(*, shared=True, complement_operators=False):
-    """One engine of each kind, optionally sharing registry/indexes."""
-    if shared:
-        registry = PredicateRegistry()
-        indexes = IndexManager()
-        kwargs = dict(registry=registry, indexes=indexes)
-    else:
-        kwargs = {}
-    return [
-        NonCanonicalEngine(**kwargs),
-        NonCanonicalEngine(codec="varint", **kwargs),
-        NonCanonicalEngine(evaluation="encoded", **kwargs),
-        CountingEngine(
-            support_unsubscription=True,
-            complement_operators=complement_operators,
-            **kwargs,
-        ),
-        CountingVariantEngine(
-            complement_operators=complement_operators, **kwargs
-        ),
-        BruteForceEngine(**kwargs),
-    ]
 
 
 @pytest.fixture

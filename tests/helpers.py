@@ -1,0 +1,117 @@
+"""Shared hypothesis strategies and fixture predicates for the test suite.
+
+Imported absolutely (``from helpers import ...``) — pytest's rootdir
+import mode puts ``tests/`` on ``sys.path``, so these helpers work both
+under ``python -m pytest`` from the repository root and when a single
+test module is run directly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import (
+    BruteForceEngine,
+    CountingEngine,
+    CountingVariantEngine,
+    NonCanonicalEngine,
+)
+from repro.events import Event
+from repro.indexes import IndexManager
+from repro.predicates import Operator, Predicate, PredicateRegistry
+from repro.subscriptions import And, Not, Or, PredicateLeaf
+
+
+def make_all_engines(*, shared=True, complement_operators=False):
+    """One engine of each kind, optionally sharing registry/indexes."""
+    if shared:
+        registry = PredicateRegistry()
+        indexes = IndexManager()
+        kwargs = dict(registry=registry, indexes=indexes)
+    else:
+        kwargs = {}
+    return [
+        NonCanonicalEngine(**kwargs),
+        NonCanonicalEngine(codec="varint", **kwargs),
+        NonCanonicalEngine(evaluation="encoded", **kwargs),
+        CountingEngine(
+            support_unsubscription=True,
+            complement_operators=complement_operators,
+            **kwargs,
+        ),
+        CountingVariantEngine(
+            complement_operators=complement_operators, **kwargs
+        ),
+        BruteForceEngine(**kwargs),
+    ]
+
+P1 = Predicate("a", Operator.GT, 10)
+P2 = Predicate("b", Operator.EQ, 1)
+P3 = Predicate("c", Operator.LT, 0)
+
+
+def random_expressions(max_leaves=6):
+    """Hypothesis strategy producing random AST trees over 3 attributes."""
+    predicates = st.sampled_from([P1, P2, P3]).map(PredicateLeaf)
+    return st.recursive(
+        predicates,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(tuple).map(And),
+            st.lists(children, min_size=2, max_size=3).map(tuple).map(Or),
+            children.map(Not),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def random_events():
+    """Hypothesis strategy producing events over the same 3 attributes."""
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "a": st.integers(-5, 20),
+            "b": st.integers(0, 3),
+            "c": st.integers(-3, 3),
+        },
+    ).map(Event)
+
+
+def predicate_strategy():
+    """Random predicates covering every operator family and both domains."""
+    numeric_attr = st.sampled_from(["a", "b", "c"])
+    string_attr = st.sampled_from(["s", "t"])
+    value = st.integers(-10, 10)
+    word = st.text(alphabet="xyz", max_size=3)
+    return st.one_of(
+        st.tuples(numeric_attr, st.sampled_from(
+            [Operator.EQ, Operator.NE, Operator.LT, Operator.LE,
+             Operator.GT, Operator.GE]), value
+        ).map(lambda t: Predicate(*t)),
+        st.builds(
+            lambda a, low, span: Predicate(a, Operator.BETWEEN, (low, low + span)),
+            numeric_attr, value, st.integers(0, 8),
+        ),
+        st.builds(
+            lambda a, values: Predicate(a, Operator.IN, values),
+            numeric_attr, st.sets(value, min_size=1, max_size=4),
+        ),
+        st.tuples(string_attr, st.sampled_from(
+            [Operator.EQ, Operator.NE, Operator.PREFIX,
+             Operator.SUFFIX, Operator.CONTAINS]), word
+        ).map(lambda t: Predicate(*t)),
+        st.builds(lambda a: Predicate(a, Operator.EXISTS), numeric_attr),
+    )
+
+
+def event_strategy():
+    """Random events over the strategy attributes (numeric and string)."""
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "a": st.integers(-12, 12),
+            "b": st.integers(-12, 12),
+            "c": st.integers(-12, 12),
+            "s": st.text(alphabet="xyz", max_size=4),
+            "t": st.text(alphabet="xyz", max_size=4),
+        },
+    ).map(Event)

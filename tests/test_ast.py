@@ -4,10 +4,9 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
+from helpers import P1, P2, P3, random_events, random_expressions
 from repro.events import Event
-from repro.predicates import Operator, Predicate
 from repro.subscriptions import (
     And,
     Not,
@@ -17,10 +16,6 @@ from repro.subscriptions import (
     disjunction,
     leaf,
 )
-
-P1 = Predicate("a", Operator.GT, 10)
-P2 = Predicate("b", Operator.EQ, 1)
-P3 = Predicate("c", Operator.LT, 0)
 
 
 class TestConstruction:
@@ -158,31 +153,6 @@ class TestFlattening:
 
     def test_leaf_flatten_is_identity(self):
         assert leaf(P1).flattened() == leaf(P1)
-
-
-def random_expressions(max_leaves=6):
-    """Hypothesis strategy producing random AST trees over 3 attributes."""
-    predicates = st.sampled_from([P1, P2, P3]).map(PredicateLeaf)
-    return st.recursive(
-        predicates,
-        lambda children: st.one_of(
-            st.lists(children, min_size=2, max_size=3).map(tuple).map(And),
-            st.lists(children, min_size=2, max_size=3).map(tuple).map(Or),
-            children.map(Not),
-        ),
-        max_leaves=max_leaves,
-    )
-
-
-def random_events():
-    return st.fixed_dictionaries(
-        {},
-        optional={
-            "a": st.integers(-5, 20),
-            "b": st.integers(0, 3),
-            "c": st.integers(-3, 3),
-        },
-    ).map(Event)
 
 
 class TestFlatteningProperties:

@@ -18,7 +18,7 @@ from repro.subscriptions import (
 )
 from repro.workloads import PaperSubscriptionGenerator
 
-from .test_ast import random_expressions
+from helpers import random_expressions
 
 
 def compiled_of(text):

@@ -17,8 +17,8 @@ from repro.subscriptions.covering import (
 )
 from repro.subscriptions.normal_forms import to_dnf
 
-from .test_ast import random_events, random_expressions
-from .test_index_manager import event_strategy, predicate_strategy
+from helpers import random_events, random_expressions
+from helpers import event_strategy, predicate_strategy
 
 
 def P(attribute, operator, value=None):

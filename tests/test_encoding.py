@@ -19,7 +19,7 @@ from repro.subscriptions import (
     parse,
 )
 
-from .test_ast import random_expressions
+from helpers import random_expressions
 
 CODECS = [BasicTreeCodec(), VarintTreeCodec()]
 

@@ -30,7 +30,7 @@ from repro.workloads import (
     PaperSubscriptionGenerator,
 )
 
-from .conftest import make_all_engines
+from helpers import make_all_engines
 
 
 def register_everywhere(engines, subscriptions):

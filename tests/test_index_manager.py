@@ -7,48 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from helpers import event_strategy, predicate_strategy
 from repro.events import Event
 from repro.indexes import IndexManager
 from repro.predicates import Operator, Predicate
-
-
-def predicate_strategy():
-    numeric_attr = st.sampled_from(["a", "b", "c"])
-    string_attr = st.sampled_from(["s", "t"])
-    value = st.integers(-10, 10)
-    word = st.text(alphabet="xyz", max_size=3)
-    return st.one_of(
-        st.tuples(numeric_attr, st.sampled_from(
-            [Operator.EQ, Operator.NE, Operator.LT, Operator.LE,
-             Operator.GT, Operator.GE]), value
-        ).map(lambda t: Predicate(*t)),
-        st.builds(
-            lambda a, low, span: Predicate(a, Operator.BETWEEN, (low, low + span)),
-            numeric_attr, value, st.integers(0, 8),
-        ),
-        st.builds(
-            lambda a, values: Predicate(a, Operator.IN, values),
-            numeric_attr, st.sets(value, min_size=1, max_size=4),
-        ),
-        st.tuples(string_attr, st.sampled_from(
-            [Operator.EQ, Operator.NE, Operator.PREFIX,
-             Operator.SUFFIX, Operator.CONTAINS]), word
-        ).map(lambda t: Predicate(*t)),
-        st.builds(lambda a: Predicate(a, Operator.EXISTS), numeric_attr),
-    )
-
-
-def event_strategy():
-    return st.fixed_dictionaries(
-        {},
-        optional={
-            "a": st.integers(-12, 12),
-            "b": st.integers(-12, 12),
-            "c": st.integers(-12, 12),
-            "s": st.text(alphabet="xyz", max_size=4),
-            "t": st.text(alphabet="xyz", max_size=4),
-        },
-    ).map(Event)
 
 
 class TestDispatch:

@@ -28,7 +28,7 @@ from repro.subscriptions import (
 )
 from repro.workloads import PaperSubscriptionGenerator
 
-from .test_ast import random_events, random_expressions
+from helpers import random_events, random_expressions
 
 P1 = Predicate("a", Operator.GT, 10)
 P2 = Predicate("b", Operator.EQ, 1)

@@ -16,7 +16,7 @@ from repro.subscriptions import (
     simplify,
 )
 
-from .test_ast import random_events, random_expressions
+from helpers import random_events, random_expressions
 
 P1 = Predicate("a", Operator.GT, 10)
 P2 = Predicate("b", Operator.EQ, 1)

@@ -14,7 +14,7 @@ from repro.subscriptions import (
     parse,
 )
 
-from .test_ast import random_expressions
+from helpers import random_expressions
 
 
 def compile_text(text):
