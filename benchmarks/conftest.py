@@ -16,11 +16,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.core import (
-    CountingEngine,
-    CountingVariantEngine,
-    NonCanonicalEngine,
-)
+from repro import build_engine
 from repro.indexes import IndexManager
 from repro.predicates import PredicateRegistry
 from repro.workloads import FulfilledPredicateSampler, PaperSubscriptionGenerator
@@ -56,11 +52,11 @@ def build_workload(predicates: int, subscriptions: int) -> Workload:
     registry = PredicateRegistry()
     indexes = IndexManager()
     engines = {
-        "non-canonical": NonCanonicalEngine(registry=registry, indexes=indexes),
-        "counting-variant": CountingVariantEngine(
-            registry=registry, indexes=indexes
-        ),
-        "counting": CountingEngine(registry=registry, indexes=indexes),
+        engine.name: engine
+        for engine in (
+            build_engine(name, registry=registry, indexes=indexes)
+            for name in ("noncanonical", "counting-variant", "counting")
+        )
     }
     generator = PaperSubscriptionGenerator(
         predicates_per_subscription=predicates, seed=20050610

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import (
+from repro import (
     CountingEngine,
     DiskTreeStore,
     NonCanonicalEngine,

@@ -19,7 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.broker import Broker
-from repro.core import NonCanonicalEngine
+from repro import NonCanonicalEngine
 from repro.experiments.harness import measure_throughput, run_throughput_sweep
 from repro.indexes import IndexManager
 from repro.predicates import PredicateRegistry

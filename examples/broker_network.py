@@ -2,11 +2,13 @@
 
 The paper motivates filtering on "peer-to-peer networks of less equipped
 machines, such as laptops and mobile devices" (§1).  This example builds
-a five-broker tree, attaches subscribers at the edges, and publishes an
-auction feed at one leaf.  Events travel only along branches with
-matching downstream subscriptions; every broker filters with its own
-non-canonical engine, and each models a small machine so the per-broker
-memory pressure is visible.
+a five-broker tree declaratively — brokers are added by name with an
+engine spec, subscribers hang collecting sinks off their handles — and
+streams an auction feed in at one leaf through the batched overlay
+pipeline.  Events travel only along branches with matching downstream
+subscriptions; every broker filters with its own non-canonical engine,
+and each models a small machine so the per-broker memory pressure is
+visible.
 
 Topology:
 
@@ -19,7 +21,7 @@ Topology:
 Run:  python examples/broker_network.py
 """
 
-from repro import Broker, BrokerNetwork, SimulatedMachine
+from repro import BrokerNetwork, CollectingSink, SimulatedMachine
 from repro.workloads import AuctionScenario
 
 LAPTOP = SimulatedMachine(
@@ -31,36 +33,37 @@ def main() -> None:
     scenario = AuctionScenario(seed=7)
     network = BrokerNetwork()
     for name in ("geneva", "tokyo", "nairobi", "lima", "cusco"):
-        network.add_broker(Broker(name, machine=LAPTOP))
+        network.add_broker(name, engine="noncanonical", machine=LAPTOP)
     for edge in (("geneva", "tokyo"), ("geneva", "nairobi"),
                  ("geneva", "lima"), ("lima", "cusco")):
         network.connect(*edge)
 
-    # subscribers at the edges
-    inboxes: dict[str, list] = {}
+    # subscribers at the edges, one collecting sink each
+    inboxes: dict[str, CollectingSink] = {}
     for site, count in (("tokyo", 6), ("nairobi", 4), ("cusco", 8)):
         for index in range(count):
             name = f"{site}-bidder{index}"
-            inboxes[name] = []
+            inboxes[name] = CollectingSink()
             network.subscribe(
                 site,
                 scenario.subscription(name),
                 subscriber=name,
-                callback=inboxes[name].append,
+                sink=inboxes[name],
             )
     print(f"{len(inboxes)} subscriptions registered across the overlay")
 
-    # publish the auction feed at one leaf
-    deliveries = 0
-    for _ in range(1_500):
-        deliveries += len(network.publish("tokyo", scenario.event()))
+    # stream the auction feed in at one leaf (batched overlay routing)
+    feed = (scenario.event() for _ in range(1_500))
+    deliveries = sum(
+        len(notified) for notified in network.stream("tokyo", feed, batch_size=64)
+    )
 
     print(f"1,500 bids published at tokyo -> {deliveries} notifications\n")
     print(f"network stats: {network.stats}")
     flooded = network.stats.broker_hops
     print(
-        f"  pruned routing: {flooded} broker hops instead of "
-        f"{1_500 * 4} for naive flooding"
+        f"  pruned routing: {flooded} grouped broker hops instead of "
+        f"{1_500 * 4} single-event hops for naive flooding"
     )
 
     print("\nper-broker state:")
@@ -72,9 +75,9 @@ def main() -> None:
             f"memory_pressure={pressure:6.2%}"
         )
 
-    busiest = max(inboxes.items(), key=lambda item: len(item[1]))
-    print(f"\nbusiest subscriber: {busiest[0]} with {len(busiest[1])} alerts")
-    sample = busiest[1][0]
+    busiest = max(inboxes.items(), key=lambda item: item[1].delivered)
+    print(f"\nbusiest subscriber: {busiest[0]} with {busiest[1].delivered} alerts")
+    sample = busiest[1].notifications[0]
     print(f"  first alert: {dict(sample.event.items())} (home broker {sample.broker})")
 
 

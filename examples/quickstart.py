@@ -8,22 +8,31 @@ like
 *directly* — no rewriting into a disjunctive normal form, no multiplied
 storage — and still get index-backed matching.
 
+Everything here uses the public surface: engines are named through the
+registry (no engine-class imports), ``subscribe`` returns a
+``SubscriptionHandle`` that owns the subscription's lifecycle, delivery
+goes through sinks, and one ``publish`` call takes events, mappings, or
+whole batches.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import Broker, Event
+from repro import Broker, CollectingSink, Event
+
 
 def main() -> None:
-    broker = Broker("quickstart")
+    # engine choice is configuration, not an import
+    broker = Broker("quickstart", engine="noncanonical")
 
     # --- subscribe ------------------------------------------------------
     # Subscriptions are arbitrary Boolean expressions over
-    # attribute-operator-value predicates.
-    alerts = []
+    # attribute-operator-value predicates; each subscribe() returns a
+    # handle owning the registration and its delivery sink.
+    alerts = CollectingSink()
     watch = broker.subscribe(
         "(price > 100 or urgent = true) and not region = 'test'",
         subscriber="alice",
-        callback=alerts.append,
+        sink=alerts,
     )
     bargains = broker.subscribe(
         "symbol prefix 'AC' and price between [5, 20]",
@@ -33,19 +42,19 @@ def main() -> None:
     print(f"registered: {bargains}")
 
     # --- publish --------------------------------------------------------
+    # One surface: single events, plain mappings, or whole batches.
     events = [
         Event({"symbol": "ACME", "price": 120.0, "region": "eu"}),
-        Event({"symbol": "ACME", "price": 12.0, "region": "eu"}),
-        Event({"symbol": "ZORG", "price": 250.0, "region": "test"}),
-        Event({"symbol": "ACE", "price": 7.5, "urgent": True}),
+        {"symbol": "ACME", "price": 12.0, "region": "eu"},
+        {"symbol": "ZORG", "price": 250.0, "region": "test"},
+        {"symbol": "ACE", "price": 7.5, "urgent": True},
     ]
-    for event in events:
-        notifications = broker.publish(event)
+    for event, notifications in zip(events, broker.publish(events)):
         receivers = sorted({n.subscriber for n in notifications})
         print(f"{dict(event.items())!s:<58} -> {receivers or 'no match'}")
 
     # --- inspect --------------------------------------------------------
-    print(f"\nalice received {len(alerts)} callback notifications")
+    print(f"\nalice received {alerts.delivered} sink notifications")
     print(f"broker stats: {broker.stats}")
     breakdown = broker.engine.memory_breakdown()
     print(
@@ -53,8 +62,13 @@ def main() -> None:
         + ", ".join(f"{k}={v}B" for k, v in breakdown.items())
     )
 
-    # --- unsubscribe ----------------------------------------------------
-    broker.unsubscribe(watch.subscription_id)
+    # --- pause / unsubscribe -------------------------------------------
+    bargains.pause()
+    broker.publish({"symbol": "ACRO", "price": 9.0})
+    print(f"while paused, bob's handle delivered nothing: {bargains}")
+    bargains.resume()
+
+    watch.unsubscribe()
     print(f"after unsubscribe: {broker.subscription_count} subscription(s) left")
 
 

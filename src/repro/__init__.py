@@ -35,10 +35,16 @@ inventory and the paper-to-module map.
 from .broker import (
     Broker,
     BrokerNetwork,
+    CallbackSink,
+    CollectingSink,
+    DeliverySink,
     Notification,
     Publisher,
+    QueueSink,
     Subscriber,
+    SubscriptionHandle,
     TopologyError,
+    as_sink,
 )
 from .core import (
     ENGINES,
@@ -46,12 +52,20 @@ from .core import (
     CountingEngine,
     CountingVariantEngine,
     DiskTreeStore,
+    EngineSpec,
     FilterEngine,
     MatchingTreeEngine,
     NonCanonicalEngine,
     PagedNonCanonicalEngine,
+    UnknownEngineError,
     UnknownSubscriptionError,
     UnsupportedSubscriptionError,
+    build_engine,
+    canonical_engine_name,
+    engine_names,
+    register_engine,
+    resolve_engine,
+    spec_of,
 )
 from .events import (
     AttributeSpec,
@@ -84,8 +98,22 @@ __all__ = [
     "Notification",
     "Publisher",
     "Subscriber",
+    "SubscriptionHandle",
+    "DeliverySink",
+    "CallbackSink",
+    "CollectingSink",
+    "QueueSink",
+    "as_sink",
     "TopologyError",
     "ENGINES",
+    "EngineSpec",
+    "UnknownEngineError",
+    "build_engine",
+    "canonical_engine_name",
+    "engine_names",
+    "register_engine",
+    "resolve_engine",
+    "spec_of",
     "BruteForceEngine",
     "CountingEngine",
     "CountingVariantEngine",

@@ -2,7 +2,15 @@
 
 from .broker import Broker, BrokerStats, Notification
 from .client import Publisher, Subscriber
+from .handle import SubscriptionHandle
 from .network import BrokerNetwork, NetworkStats, TopologyError
+from .sinks import (
+    CallbackSink,
+    CollectingSink,
+    DeliverySink,
+    QueueSink,
+    as_sink,
+)
 from .persistence import (
     PersistenceError,
     dump_subscriptions,
@@ -17,6 +25,12 @@ __all__ = [
     "Notification",
     "Publisher",
     "Subscriber",
+    "SubscriptionHandle",
+    "CallbackSink",
+    "CollectingSink",
+    "DeliverySink",
+    "QueueSink",
+    "as_sink",
     "BrokerNetwork",
     "NetworkStats",
     "TopologyError",

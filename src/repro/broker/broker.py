@@ -1,24 +1,40 @@
 """A single pub/sub broker.
 
-A broker owns a matching engine (pluggable — any
-:class:`~repro.core.base.FilterEngine`), accepts subscriptions and
-publications, validates events against an optional schema, delivers
-notifications to subscriber callbacks, and models the machine it runs on
-(paper §1 motivates filtering on "laptops and mobile devices" rather
-than designated servers).
+A broker owns a matching engine (pluggable — an instance, an
+:class:`~repro.core.registry.EngineSpec`, or a registry name), accepts
+subscriptions and publications, delivers notifications through
+:mod:`delivery sinks <repro.broker.sinks>`, validates events against an
+optional schema, and models the machine it runs on (paper §1 motivates
+filtering on "laptops and mobile devices" rather than designated
+servers).
+
+The public surface:
+
+* :meth:`Broker.subscribe` returns a
+  :class:`~repro.broker.handle.SubscriptionHandle` owning the
+  subscription's lifecycle (``unsubscribe``/``pause``/``resume``) and
+  its delivery sink;
+* :meth:`Broker.publish` is the one publish surface — it accepts a
+  single :class:`~repro.events.event.Event`, a plain mapping, or an
+  iterable of either (routed through the batch matching pipeline);
+* :meth:`Broker.stream` generates per-event deliveries for feeds too
+  large to materialize, batching internally.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..core.base import FilterEngine
-from ..core.noncanonical import NonCanonicalEngine
+from ..core.registry import EngineSpec, resolve_engine
 from ..events.event import Event
 from ..events.schema import EventSchema
 from ..memory.model import SimulatedMachine
 from ..subscriptions.subscription import Subscription
+from .handle import SubscriptionHandle
+from .sinks import DeliverySink, as_sink
 
 
 @dataclass(frozen=True)
@@ -37,10 +53,101 @@ class BrokerStats:
 
     events_published: int = 0
     events_matched: int = 0          # events with >= 1 local match
-    batches_published: int = 0       # publish_batch invocations
+    batches_published: int = 0       # batch publications (one per batch)
     notifications_delivered: int = 0
     subscriptions_registered: int = 0
     subscriptions_removed: int = 0
+
+
+def coerce_event(event: Event | Mapping) -> Event:
+    """Normalize one publishable item (an event or a plain mapping)."""
+    if isinstance(event, Event):
+        return event
+    if isinstance(event, Mapping):
+        return Event(event)
+    raise TypeError(f"expected an Event or a mapping, got {event!r}")
+
+
+def require_event_iterable(events) -> None:
+    """Reject values that are single events (or plain wrong) where an
+    iterable *of* events is required — eagerly, with a useful message."""
+    if isinstance(events, (Event, Mapping, str, bytes)) or not isinstance(
+        events, Iterable
+    ):
+        raise TypeError(
+            f"expected an iterable of events, got {events!r}; "
+            "a single event/mapping goes to publish() directly"
+        )
+
+
+def coerce_events(events: Iterable[Event | Mapping]) -> list[Event]:
+    """Materialize an iterable of publishable items exactly once.
+
+    Generators are consumed here and nowhere else — every publish path
+    funnels through this single materialization, so counting and
+    matching always see the same batch.
+    """
+    require_event_iterable(events)
+    return [coerce_event(event) for event in events]
+
+
+def iter_event_batches(
+    events: Iterable[Event | Mapping], batch_size: int
+) -> Iterator[list[Event]]:
+    """Chunk a feed into coerced batches of at most ``batch_size``.
+
+    The accumulate-and-flush loop behind every ``stream()`` surface
+    (broker, network, publisher); pulls at most ``batch_size`` events
+    ahead of the consumer.
+    """
+    require_event_iterable(events)
+    batch: list[Event] = []
+    for event in events:
+        batch.append(coerce_event(event))
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def coerce_subscription_id(subscription) -> int:
+    """Normalize a handle, subscription object, or raw id to the id.
+
+    The shared coercion behind every ``unsubscribe()`` surface.
+    """
+    if isinstance(subscription, int):
+        return subscription
+    subscription_id = getattr(subscription, "subscription_id", None)
+    if subscription_id is None:
+        raise TypeError(
+            "expected a SubscriptionHandle, Subscription, or int id; "
+            f"got {subscription!r}"
+        )
+    return subscription_id
+
+
+def stream_events(
+    publish_batch: Callable[[list[Event]], list[list[Notification]]],
+    events: Iterable[Event | Mapping],
+    batch_size: int,
+) -> Iterator[list[Notification]]:
+    """The one ``stream()`` implementation behind every surface.
+
+    Validates eagerly (bad ``batch_size`` or a single event passed where
+    a feed belongs fail at the call, not at first ``next()``), then
+    yields each event's notification list, publishing one coerced batch
+    at a time through ``publish_batch``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    require_event_iterable(events)
+
+    def generate() -> Iterator[list[Notification]]:
+        for batch in iter_event_batches(events, batch_size):
+            yield from publish_batch(batch)
+
+    return generate()
 
 
 class Broker:
@@ -51,8 +158,10 @@ class Broker:
     name:
         Broker identity (used in notifications and overlay routing).
     engine:
-        Matching engine; defaults to a fresh
-        :class:`~repro.core.noncanonical.NonCanonicalEngine`.
+        Matching engine: a :class:`~repro.core.base.FilterEngine`
+        instance, an :class:`~repro.core.registry.EngineSpec`, or a
+        registry name (e.g. ``"counting"``).  Defaults to a fresh
+        non-canonical engine.
     schema:
         Optional event schema enforced at the publish boundary.
     machine:
@@ -65,19 +174,18 @@ class Broker:
         self,
         name: str,
         *,
-        engine: FilterEngine | None = None,
+        engine: FilterEngine | EngineSpec | str | None = None,
         schema: EventSchema | None = None,
         machine: SimulatedMachine | None = None,
     ) -> None:
         if not name:
             raise ValueError("broker name must be non-empty")
         self.name = name
-        self.engine = engine if engine is not None else NonCanonicalEngine()
+        self.engine = resolve_engine(engine)
         self.schema = schema
         self.machine = machine
         self.stats = BrokerStats()
-        self._callbacks: dict[int, Callable[[Notification], None] | None] = {}
-        self._subscriptions: dict[int, Subscription] = {}
+        self._handles: dict[int, SubscriptionHandle] = {}
 
     # ------------------------------------------------------------------
     # subscription management
@@ -87,13 +195,26 @@ class Broker:
         subscription: Subscription | str,
         *,
         subscriber: str | None = None,
+        sink: DeliverySink | Callable[[Notification], None] | None = None,
         callback: Callable[[Notification], None] | None = None,
-    ) -> Subscription:
+    ) -> SubscriptionHandle:
         """Register a subscription (object or source text).
 
-        Returns the registered :class:`Subscription` (with its assigned
-        id) so callers can later unsubscribe.
+        Returns the :class:`~repro.broker.handle.SubscriptionHandle`
+        owning the registration.  ``sink`` takes a
+        :class:`~repro.broker.sinks.DeliverySink` or a bare callable;
+        ``callback`` is the deprecated spelling of a callable sink and
+        will be removed next release.
         """
+        if sink is not None and callback is not None:
+            raise TypeError("pass either sink= or callback=, not both")
+        if callback is not None:
+            warnings.warn(
+                "callback= is deprecated and will be removed next "
+                "release; pass sink= (a DeliverySink or bare callable)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if isinstance(subscription, str):
             subscription = Subscription.from_text(
                 subscription, subscriber=subscriber
@@ -105,21 +226,46 @@ class Broker:
                 subscription_id=subscription.subscription_id,
             )
         self.engine.register(subscription)
-        self._callbacks[subscription.subscription_id] = callback
-        self._subscriptions[subscription.subscription_id] = subscription
+        handle = SubscriptionHandle(
+            subscription,
+            sink=as_sink(sink if sink is not None else callback),
+            owner=self,
+        )
+        self._handles[subscription.subscription_id] = handle
         self.stats.subscriptions_registered += 1
-        return subscription
+        return handle
 
-    def unsubscribe(self, subscription_id: int) -> None:
-        """Remove a subscription by id."""
+    def unsubscribe(
+        self, subscription: SubscriptionHandle | Subscription | int
+    ) -> None:
+        """Remove a subscription (handle, subscription object, or raw id).
+
+        Raises :class:`~repro.core.base.UnknownSubscriptionError` for an
+        id that is not registered; prefer
+        :meth:`SubscriptionHandle.unsubscribe`, which is idempotent.
+        """
+        subscription_id = coerce_subscription_id(subscription)
         self.engine.unregister(subscription_id)
-        self._callbacks.pop(subscription_id, None)
-        self._subscriptions.pop(subscription_id, None)
+        handle = self._handles.pop(subscription_id, None)
+        if handle is not None:
+            handle._invalidate()
         self.stats.subscriptions_removed += 1
 
     def subscription(self, subscription_id: int) -> Subscription:
         """The registered subscription object for ``subscription_id``."""
-        return self._subscriptions[subscription_id]
+        return self._handles[subscription_id].subscription
+
+    def handle(self, subscription_id: int) -> SubscriptionHandle:
+        """The live handle for ``subscription_id``."""
+        return self._handles[subscription_id]
+
+    def handles(self) -> list[SubscriptionHandle]:
+        """All live handles, in registration (id) order."""
+        return [self._handles[sid] for sid in sorted(self._handles)]
+
+    def subscriptions(self) -> list[Subscription]:
+        """All registered subscriptions, in id order."""
+        return [handle.subscription for handle in self.handles()]
 
     @property
     def subscription_count(self) -> int:
@@ -127,16 +273,61 @@ class Broker:
         return self.engine.subscription_count
 
     # ------------------------------------------------------------------
-    # publication
+    # publication — one surface
     # ------------------------------------------------------------------
-    def publish(self, event: Event) -> list[Notification]:
-        """Match ``event`` and deliver notifications to local subscribers.
+    def publish(
+        self, events: Event | Mapping | Iterable[Event | Mapping]
+    ) -> list[Notification] | list[list[Notification]]:
+        """Publish one event or a batch — the single publish surface.
+
+        * an :class:`~repro.events.event.Event` or plain mapping is
+          matched on the per-event path and returns its notifications;
+        * any other iterable (list, tuple, generator, ...) is
+          materialized once and routed through the batch matching
+          pipeline; result ``i`` holds the deliveries of event ``i``.
+
+        For unbounded feeds, use :meth:`stream` instead of passing a
+        huge iterable.
 
         Raises
         ------
         SchemaViolationError
-            When a schema is configured and the event does not conform.
+            When a schema is configured and an event does not conform
+            (a violating event rejects its whole batch before any
+            delivery happens).
         """
+        if isinstance(events, (Event, Mapping)):
+            return self._publish_event(coerce_event(events))
+        return self._publish_batch(coerce_events(events))
+
+    def publish_batch(
+        self, events: Iterable[Event | Mapping]
+    ) -> list[list[Notification]]:
+        """Batch publication; thin alias of :meth:`publish` on an iterable.
+
+        The iterable is materialized exactly once (generators are safe);
+        the whole batch is schema-validated up front and matched with
+        one engine invocation
+        (:meth:`~repro.core.base.FilterEngine.match_batch`).
+        """
+        return self._publish_batch(coerce_events(events))
+
+    def stream(
+        self,
+        events: Iterable[Event | Mapping],
+        *,
+        batch_size: int = 256,
+    ) -> Iterator[list[Notification]]:
+        """Publish a (possibly unbounded) feed, batching internally.
+
+        Yields each event's notification list, in input order, while
+        pulling at most ``batch_size`` events ahead — the streaming face
+        of the batch pipeline.
+        """
+        return stream_events(self._publish_batch, events, batch_size)
+
+    def _publish_event(self, event: Event) -> list[Notification]:
+        """Per-event path: match one event, deliver, count."""
         if self.schema is not None:
             self.schema.validate(event)
         self.stats.events_published += 1
@@ -147,24 +338,10 @@ class Broker:
         self.stats.notifications_delivered += len(notifications)
         return notifications
 
-    def publish_batch(
+    def _publish_batch(
         self, events: Sequence[Event]
     ) -> list[list[Notification]]:
-        """Match a batch with one engine invocation; deliver per event.
-
-        Result ``i`` equals ``publish(events[i])``'s return value, but
-        the engine is entered once for the whole batch
-        (:meth:`~repro.core.base.FilterEngine.match_batch`), amortizing
-        phase-1 probes and phase-2 dispatch.  Schema validation happens
-        up front for the *whole* batch, so a violating event rejects the
-        batch before any notification is delivered.
-
-        Raises
-        ------
-        SchemaViolationError
-            When a schema is configured and any event does not conform.
-        """
-        events = list(events)
+        """Batch path: one engine invocation, per-event delivery."""
         if self.schema is not None:
             for event in events:
                 self.schema.validate(event)
@@ -183,47 +360,58 @@ class Broker:
         return batched
 
     def _deliver(self, event: Event, matched: set[int]) -> list[Notification]:
-        """Build and deliver notifications for one matched event."""
+        """Build and deliver notifications for one matched event.
+
+        Paused handles are skipped entirely (no notification object).  A
+        bounded sink may still drop internally — that shows up in the
+        sink's own ``dropped`` counter, not here.
+        """
         notifications = []
         for subscription_id in sorted(matched):
-            subscription = self._subscriptions.get(subscription_id)
-            subscriber = (
-                subscription.subscriber if subscription is not None else None
-            )
+            handle = self._handles.get(subscription_id)
+            if handle is not None and handle.paused:
+                continue
             notification = Notification(
                 event=event,
                 subscription_id=subscription_id,
-                subscriber=subscriber,
+                subscriber=handle.subscriber if handle is not None else None,
                 broker=self.name,
             )
-            callback = self._callbacks.get(subscription_id)
-            if callback is not None:
-                callback(notification)
+            if handle is not None and handle.sink is not None:
+                handle.sink.deliver(notification)
             notifications.append(notification)
         return notifications
 
-    def notify_local(self, event: Event, subscription_id: int) -> Notification:
+    def notify_local(
+        self, event: Event, subscription_id: int
+    ) -> Notification | None:
         """Deliver one notification to a locally-registered subscriber.
 
         Used by the overlay network when an event reaches a
-        subscription's home broker; also invokes the callback.
+        subscription's home broker; feeds the handle's sink.  Returns
+        ``None`` (and delivers nothing) when the handle is paused.
         """
-        subscription = self._subscriptions[subscription_id]
+        handle = self._handles[subscription_id]
+        if handle.paused:
+            return None
         notification = Notification(
             event=event,
             subscription_id=subscription_id,
-            subscriber=subscription.subscriber,
+            subscriber=handle.subscriber,
             broker=self.name,
         )
-        callback = self._callbacks.get(subscription_id)
-        if callback is not None:
-            callback(notification)
+        if handle.sink is not None:
+            handle.sink.deliver(notification)
         self.stats.notifications_delivered += 1
         return notification
 
     # ------------------------------------------------------------------
-    # resource model
+    # resource model / maintenance
     # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the lifetime counters; live subscriptions are untouched."""
+        self.stats = BrokerStats()
+
     def memory_pressure(self) -> float:
         """Engine working set as a fraction of the machine budget.
 

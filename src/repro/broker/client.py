@@ -1,20 +1,29 @@
 """Client-side helpers: subscribers and publishers.
 
 Thin convenience wrappers around a :class:`~repro.broker.broker.Broker`
-(or a network attachment point) that keep per-client state: a
-subscriber's received notifications, a publisher's publication count.
+that keep per-client state.  A :class:`Subscriber` owns the
+:class:`~repro.broker.handle.SubscriptionHandle` of every subscription
+it registers and funnels deliveries into one
+:class:`~repro.broker.sinks.CollectingSink`; a :class:`Publisher`
+counts what it publishes through the broker's unified publish surface.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Iterable, Iterator, Mapping
 
 from ..events.event import Event
 from ..subscriptions.subscription import Subscription
-from .broker import Broker, Notification
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from .network import BrokerNetwork
+from .broker import (
+    Broker,
+    Notification,
+    coerce_event,
+    coerce_events,
+    coerce_subscription_id,
+    stream_events,
+)
+from .handle import SubscriptionHandle
+from .sinks import CollectingSink
 
 
 class Subscriber:
@@ -36,42 +45,66 @@ class Subscriber:
             raise ValueError("subscriber name must be non-empty")
         self.name = name
         self.broker = broker
-        self.notifications: list[Notification] = []
-        self._subscription_ids: set[int] = set()
+        #: one sink shared by every subscription this client registers
+        self.sink = CollectingSink()
+        self._handles: dict[int, SubscriptionHandle] = {}
 
-    def subscribe(self, subscription: Subscription | str) -> Subscription:
-        """Register interest; notifications accumulate on this object."""
-        registered = self.broker.subscribe(
-            subscription, subscriber=self.name, callback=self._receive
+    def subscribe(
+        self, subscription: Subscription | str
+    ) -> SubscriptionHandle:
+        """Register interest; notifications accumulate on :attr:`sink`."""
+        handle = self.broker.subscribe(
+            subscription, subscriber=self.name, sink=self.sink
         )
-        self._subscription_ids.add(registered.subscription_id)
-        return registered
+        self._handles[handle.id] = handle
+        return handle
 
-    def unsubscribe(self, subscription_id: int) -> None:
-        """Drop one of this subscriber's subscriptions."""
-        if subscription_id not in self._subscription_ids:
+    def unsubscribe(
+        self, subscription: SubscriptionHandle | Subscription | int
+    ) -> None:
+        """Drop one of this subscriber's subscriptions (handle,
+        subscription object, or raw id)."""
+        subscription_id = coerce_subscription_id(subscription)
+        handle = self._handles.pop(subscription_id, None)
+        if handle is None:
             raise KeyError(
                 f"{self.name} does not own subscription {subscription_id}"
             )
-        self.broker.unsubscribe(subscription_id)
-        self._subscription_ids.discard(subscription_id)
+        handle.unsubscribe()
 
     def unsubscribe_all(self) -> None:
         """Drop every subscription this subscriber owns."""
-        for subscription_id in list(self._subscription_ids):
+        for subscription_id in list(self._handles):
             self.unsubscribe(subscription_id)
+
+    @property
+    def notifications(self) -> list[Notification]:
+        """Notifications received so far (the sink's collection)."""
+        return self.sink.notifications
+
+    def _prune_withdrawn(self) -> None:
+        """Forget handles withdrawn behind our back (handle.unsubscribe
+        talks to the broker, not to this wrapper)."""
+        for sid in [
+            sid for sid, h in self._handles.items() if not h.active
+        ]:
+            del self._handles[sid]
+
+    @property
+    def handles(self) -> list[SubscriptionHandle]:
+        """Handles of this subscriber's live subscriptions, in id order."""
+        self._prune_withdrawn()
+        return [self._handles[sid] for sid in sorted(self._handles)]
 
     @property
     def subscription_ids(self) -> frozenset[int]:
         """Ids of this subscriber's live subscriptions."""
-        return frozenset(self._subscription_ids)
-
-    def _receive(self, notification: Notification) -> None:
-        self.notifications.append(notification)
+        self._prune_withdrawn()
+        return frozenset(self._handles)
 
     def clear(self) -> None:
         """Forget received notifications (between test phases)."""
-        self.notifications.clear()
+        self.sink.clear()
 
 
 class Publisher:
@@ -84,18 +117,50 @@ class Publisher:
         self.broker = broker
         self.published_count = 0
 
-    def publish(self, event: Event | dict) -> list[Notification]:
-        """Publish an event (accepts a plain mapping for convenience)."""
-        if not isinstance(event, Event):
-            event = Event(event)
-        self.published_count += 1
-        return self.broker.publish(event)
+    def publish(
+        self, events: Event | Mapping | Iterable[Event | Mapping]
+    ) -> list[Notification] | list[list[Notification]]:
+        """Publish an event, a mapping, or an iterable of either.
 
-    def publish_batch(self, events) -> list[list[Notification]]:
-        """Publish a batch through the broker's batched matching path."""
-        prepared = [
-            event if isinstance(event, Event) else Event(event)
-            for event in events
-        ]
+        Mirrors :meth:`Broker.publish`: iterables (including
+        generators) are materialized exactly once, counted, and routed
+        through the batch matching pipeline.
+        """
+        if isinstance(events, (Event, Mapping)):
+            self.published_count += 1
+            return self.broker.publish(coerce_event(events))
+        prepared = coerce_events(events)
         self.published_count += len(prepared)
         return self.broker.publish_batch(prepared)
+
+    def publish_batch(
+        self, events: Iterable[Event | Mapping]
+    ) -> list[list[Notification]]:
+        """Publish a batch through the broker's batched matching path.
+
+        The iterable is materialized (and coerced) exactly once — a
+        generator is consumed here and the resulting batch is both what
+        gets counted and what gets matched.
+        """
+        prepared = coerce_events(events)
+        self.published_count += len(prepared)
+        return self.broker.publish_batch(prepared)
+
+    def stream(
+        self,
+        events: Iterable[Event | Mapping],
+        *,
+        batch_size: int = 256,
+    ) -> Iterator[list[Notification]]:
+        """Stream a feed through the broker, batching internally.
+
+        ``published_count`` moves when a batch is published (matching
+        the broker's own counters even if the consumer stops early), not
+        per yielded event.
+        """
+
+        def publish_and_count(batch):
+            self.published_count += len(batch)
+            return self.broker.publish_batch(batch)
+
+        return stream_events(publish_and_count, events, batch_size)

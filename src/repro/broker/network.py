@@ -24,13 +24,27 @@ the paper analyses — :meth:`BrokerNetwork.memory_report` surfaces it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from ..core.base import FilterEngine
+from ..core.registry import EngineSpec
 from ..events.event import Event
+from ..events.schema import EventSchema
+from ..memory.model import SimulatedMachine
 from ..subscriptions.covering import covers
 from ..subscriptions.subscription import Subscription
-from .broker import Broker, Notification
+from .broker import (
+    Broker,
+    Notification,
+    coerce_event,
+    coerce_events,
+    coerce_subscription_id,
+    stream_events,
+)
+from .handle import SubscriptionHandle
+from .sinks import DeliverySink
 
 
 class TopologyError(ValueError):
@@ -86,8 +100,31 @@ class BrokerNetwork:
     # ------------------------------------------------------------------
     # topology
     # ------------------------------------------------------------------
-    def add_broker(self, broker: Broker) -> Broker:
-        """Add a broker node (initially disconnected)."""
+    def add_broker(
+        self,
+        broker: Broker | str,
+        *,
+        engine: FilterEngine | EngineSpec | str | None = None,
+        schema: EventSchema | None = None,
+        machine: SimulatedMachine | None = None,
+    ) -> Broker:
+        """Add a broker node (initially disconnected).
+
+        Accepts a constructed :class:`~repro.broker.broker.Broker` or
+        just a name — with a name, the broker is built here and
+        ``engine`` may be an engine spec or registry name, so
+        heterogeneous overlays (the paper's peer-device deployments) are
+        described declaratively.
+        """
+        if isinstance(broker, str):
+            broker = Broker(
+                broker, engine=engine, schema=schema, machine=machine
+            )
+        elif engine is not None or schema is not None or machine is not None:
+            raise TypeError(
+                "engine/schema/machine apply only when adding a broker "
+                "by name"
+            )
         if broker.name in self._brokers:
             raise TopologyError(f"broker {broker.name!r} already present")
         self._brokers[broker.name] = broker
@@ -148,19 +185,38 @@ class BrokerNetwork:
         subscription: Subscription | str,
         *,
         subscriber: str | None = None,
-        callback=None,
-    ) -> Subscription:
-        """Register at ``broker_name`` and flood to the whole overlay."""
+        sink: DeliverySink | Callable[[Notification], None] | None = None,
+        callback: Callable[[Notification], None] | None = None,
+    ) -> SubscriptionHandle:
+        """Register at ``broker_name`` and flood to the whole overlay.
+
+        Returns a :class:`~repro.broker.handle.SubscriptionHandle` that
+        withdraws **network-wide** on ``unsubscribe()``; pausing it
+        suppresses delivery at the home broker, which is where all of
+        this subscription's deliveries happen.
+        """
+        if sink is not None and callback is not None:
+            raise TypeError("pass either sink= or callback=, not both")
+        if callback is not None:
+            # warn here so the DeprecationWarning points at the caller,
+            # not at this forwarding frame
+            warnings.warn(
+                "callback= is deprecated and will be removed next "
+                "release; pass sink= (a DeliverySink or bare callable)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            sink, callback = callback, None
         home = self.broker(broker_name)
-        registered = home.subscribe(
-            subscription, subscriber=subscriber, callback=callback
-        )
-        sid = registered.subscription_id
+        handle = home.subscribe(subscription, subscriber=subscriber, sink=sink)
+        # re-own the handle: its unsubscribe() must withdraw everywhere
+        handle._owner = self
+        sid = handle.id
         self._home[sid] = home.name
         self._next_hop[home.name][sid] = None
-        self._definitions[sid] = (registered.expression, registered.subscriber)
-        self._flood_subscription(home.name, registered)
-        return registered
+        self._definitions[sid] = (handle.expression, handle.subscriber)
+        self._flood_subscription(home.name, handle.subscription)
+        return handle
 
     def _flood_subscription(self, origin: str, subscription: Subscription) -> None:
         sid = subscription.subscription_id
@@ -209,12 +265,16 @@ class BrokerNetwork:
                 return candidate
         return None
 
-    def unsubscribe(self, subscription_id: int) -> None:
-        """Withdraw a subscription everywhere.
+    def unsubscribe(
+        self, subscription: SubscriptionHandle | Subscription | int
+    ) -> None:
+        """Withdraw a subscription (handle, subscription object, or raw
+        id) everywhere.
 
         With covering enabled, subscriptions this one covered are
         reinstated at every broker where it had absorbed them.
         """
+        subscription_id = coerce_subscription_id(subscription)
         home = self._home.pop(subscription_id, None)
         if home is None:
             raise TopologyError(f"unknown subscription {subscription_id}")
@@ -246,8 +306,45 @@ class BrokerNetwork:
     # ------------------------------------------------------------------
     # event routing
     # ------------------------------------------------------------------
-    def publish(self, broker_name: str, event: Event) -> list[Notification]:
-        """Publish at ``broker_name``; returns all network-wide deliveries.
+    def publish(
+        self,
+        broker_name: str,
+        events: Event | Mapping | Iterable[Event | Mapping],
+    ) -> list[Notification] | list[list[Notification]]:
+        """Publish at ``broker_name`` — the single publish surface.
+
+        Mirrors :meth:`Broker.publish`: a single event or mapping takes
+        the per-event path and returns its network-wide deliveries; any
+        other iterable is materialized once and routed through the
+        batched overlay pipeline (result ``i`` holds event ``i``'s
+        deliveries).  Use :meth:`stream` for unbounded feeds.
+        """
+        if isinstance(events, (Event, Mapping)):
+            return self._publish_event(broker_name, coerce_event(events))
+        return self._publish_batch(broker_name, coerce_events(events))
+
+    def stream(
+        self,
+        broker_name: str,
+        events: Iterable[Event | Mapping],
+        *,
+        batch_size: int = 256,
+    ) -> Iterator[list[Notification]]:
+        """Publish a feed at ``broker_name``, batching internally.
+
+        Yields each event's network-wide deliveries in input order,
+        pulling at most ``batch_size`` events ahead.
+        """
+        return stream_events(
+            lambda batch: self._publish_batch(broker_name, batch),
+            events,
+            batch_size,
+        )
+
+    def _publish_event(
+        self, broker_name: str, event: Event
+    ) -> list[Notification]:
+        """Per-event reverse-path forwarding.
 
         The event travels only toward brokers with matching downstream
         subscriptions; each broker on the path re-matches with its own
@@ -271,7 +368,10 @@ class BrokerNetwork:
                 hop = self._next_hop[current].get(sid)
                 if hop is None:
                     # this broker is the subscription's home: deliver
-                    deliveries.append(broker.notify_local(event, sid))
+                    # (None means the handle is paused — no delivery)
+                    notification = broker.notify_local(event, sid)
+                    if notification is not None:
+                        deliveries.append(notification)
                 elif hop != came_from:
                     forward_to.add(hop)
             for neighbor in forward_to:
@@ -281,22 +381,30 @@ class BrokerNetwork:
         return deliveries
 
     def publish_batch(
+        self, broker_name: str, events: Iterable[Event | Mapping]
+    ) -> list[list[Notification]]:
+        """Batch publication; thin alias of :meth:`publish` on an iterable.
+
+        The iterable is materialized exactly once (generators are safe).
+        """
+        return self._publish_batch(broker_name, coerce_events(events))
+
+    def _publish_batch(
         self, broker_name: str, events: Sequence[Event]
     ) -> list[list[Notification]]:
-        """Publish a batch at ``broker_name``; one matching invocation per
-        broker per batch.
+        """Batched overlay routing; one matching invocation per broker per
+        batch.
 
-        Result ``i`` holds the same notifications ``publish(broker_name,
-        events[i])`` would produce; only their order within the list may
-        differ, since the batched traversal visits brokers in its own
-        order.  Routing is batched end to end: each
+        Result ``i`` holds the same notifications the per-event path
+        would produce for ``events[i]``; only their order within the
+        list may differ, since the batched traversal visits brokers in
+        its own order.  Routing is batched end to end: each
         broker the batch reaches matches its event subset with a single
         :meth:`~repro.core.base.FilterEngine.match_batch` call, and the
         subset bound for each neighbor is forwarded as one grouped
         transmission (one ``broker_hops`` increment), which is how a real
         overlay would ship a frame of events.
         """
-        events = list(events)
         home = self.broker(broker_name).name
         self.stats.events_published += len(events)
         self.stats.batches_published += 1
@@ -328,10 +436,11 @@ class BrokerNetwork:
                     hop = next_hop.get(sid)
                     if hop is None:
                         # this broker is the subscription's home: deliver
-                        deliveries[index].append(
-                            broker.notify_local(events[index], sid)
-                        )
-                        delivered += 1
+                        # (None means the handle is paused — no delivery)
+                        notification = broker.notify_local(events[index], sid)
+                        if notification is not None:
+                            deliveries[index].append(notification)
+                            delivered += 1
                     elif hop != came_from and hop not in forwarded_to:
                         forwarded_to.add(hop)
                         forward.setdefault(hop, []).append(index)

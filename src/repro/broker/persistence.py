@@ -112,11 +112,7 @@ def load_subscriptions(path: str | Path) -> list[Subscription]:
 
 def save_broker(broker: Broker, path: str | Path) -> int:
     """Persist every live subscription of ``broker``."""
-    live = [
-        broker.subscription(subscription_id)
-        for subscription_id in sorted(broker._subscriptions)
-    ]
-    return dump_subscriptions(live, path)
+    return dump_subscriptions(broker.subscriptions(), path)
 
 
 def restore_broker(broker: Broker, path: str | Path) -> int:

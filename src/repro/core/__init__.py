@@ -10,18 +10,22 @@ from .counting import MAX_CLAUSE_PREDICATES, CountingEngine, CountingVariantEngi
 from .matching_tree import MatchingTreeEngine
 from .noncanonical import NonCanonicalEngine
 from .paged import DiskTreeStore, PagedNonCanonicalEngine
+from .registry import (
+    EngineSpec,
+    UnknownEngineError,
+    build_engine,
+    canonical_engine_name,
+    engine_catalog,
+    engine_names,
+    register_engine,
+    resolve_engine,
+    spec_of,
+)
 
-ENGINES = {
-    engine.name: engine
-    for engine in (
-        NonCanonicalEngine,
-        CountingEngine,
-        CountingVariantEngine,
-        BruteForceEngine,
-        PagedNonCanonicalEngine,
-        MatchingTreeEngine,
-    )
-}
+#: Engine display name -> class, a snapshot of the registry's catalog
+#: (kept for callers that predate the registry; new code should use
+#: :func:`build_engine` / :func:`engine_names`).
+ENGINES = engine_catalog()
 
 __all__ = [
     "FilterEngine",
@@ -36,4 +40,13 @@ __all__ = [
     "DiskTreeStore",
     "PagedNonCanonicalEngine",
     "ENGINES",
+    "EngineSpec",
+    "UnknownEngineError",
+    "build_engine",
+    "canonical_engine_name",
+    "engine_catalog",
+    "engine_names",
+    "register_engine",
+    "resolve_engine",
+    "spec_of",
 ]

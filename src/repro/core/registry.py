@@ -1,0 +1,277 @@
+"""Engine registry: construct matching engines from declarative specs.
+
+The paper motivates deployments on heterogeneous peer devices (§1),
+which makes engine choice a *configuration* concern: a broker on a
+laptop may run the paged engine, a well-equipped hub the in-memory
+non-canonical engine, and an experiment sweeps all of them.  This module
+turns that choice into data — a string name or an :class:`EngineSpec` —
+so callers never import concrete engine classes:
+
+>>> from repro.core.registry import build_engine
+>>> build_engine("counting").name
+'counting'
+
+Canonical names
+---------------
+``"noncanonical"``, ``"counting"``, ``"counting-variant"``,
+``"matching-tree"``, ``"bruteforce"``, ``"paged"``.  Each engine's
+human-readable :attr:`~repro.core.base.FilterEngine.name` (e.g.
+``"non-canonical"``, ``"brute-force"``, ``"non-canonical-paged"``) is
+accepted as an alias and normalized to the canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Mapping
+
+from ..indexes.manager import IndexManager
+from ..predicates.registry import PredicateRegistry
+from .base import FilterEngine
+from .bruteforce import BruteForceEngine
+from .counting import CountingEngine, CountingVariantEngine
+from .matching_tree import MatchingTreeEngine
+from .noncanonical import NonCanonicalEngine
+from .paged import DiskTreeStore, PagedNonCanonicalEngine
+
+EngineFactory = Callable[..., FilterEngine]
+
+#: canonical name -> factory(**options, registry=..., indexes=...)
+_FACTORIES: dict[str, EngineFactory] = {}
+#: alias (including the canonical name itself) -> canonical name
+_ALIASES: dict[str, str] = {}
+#: concrete engine class -> canonical name (for :func:`spec_of`)
+_CLASSES: dict[type, str] = {}
+
+
+class UnknownEngineError(KeyError):
+    """Raised when an engine name is not in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(engine_names())}"
+        )
+        self.name = name
+
+
+def canonical_engine_name(name: str) -> str:
+    """Resolve ``name`` (canonical or alias) to its canonical form."""
+    try:
+        return _ALIASES[name]
+    except KeyError:
+        raise UnknownEngineError(name) from None
+
+
+def engine_names() -> tuple[str, ...]:
+    """The canonical engine names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def register_engine(
+    name: str,
+    factory: EngineFactory,
+    *,
+    engine_class: type | None = None,
+    aliases: tuple[str, ...] = (),
+    override: bool = False,
+) -> None:
+    """Add an engine under ``name`` (plus optional aliases).
+
+    ``factory`` must accept keyword ``registry`` and ``indexes`` (shared
+    phase-1 state) plus any engine-specific options.  ``engine_class``,
+    when given, lets :func:`spec_of` map instances back to ``name``.
+    Re-registering an existing name (or alias) is an error unless
+    ``override=True`` — silently displacing an engine would corrupt
+    every spec naming it.
+    """
+    if not name:
+        raise ValueError("engine name must be non-empty")
+    if name in _ALIASES and _ALIASES[name] != name:
+        raise ValueError(f"{name!r} is already an alias of {_ALIASES[name]!r}")
+    if name in _FACTORIES and not override:
+        raise ValueError(
+            f"engine {name!r} is already registered; pass override=True "
+            "to replace it"
+        )
+    _FACTORIES[name] = factory
+    _ALIASES[name] = name
+    for alias in aliases:
+        existing = _ALIASES.get(alias)
+        if existing is not None and existing != name:
+            raise ValueError(f"alias {alias!r} already maps to {existing!r}")
+        _ALIASES[alias] = name
+    if engine_class is not None:
+        _CLASSES[engine_class] = name
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A declarative engine configuration: a name plus constructor options.
+
+    Specs are plain data — they serialize, compare, and sweep.  The name
+    is normalized to canonical form on construction, so
+    ``EngineSpec("non-canonical") == EngineSpec("noncanonical")``.
+
+    >>> spec = EngineSpec("noncanonical", {"codec": "varint"})
+    >>> spec.build().name
+    'non-canonical'
+    """
+
+    name: str
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", canonical_engine_name(self.name))
+        object.__setattr__(
+            self, "options", MappingProxyType(dict(self.options))
+        )
+
+    def build(
+        self,
+        *,
+        registry: PredicateRegistry | None = None,
+        indexes: IndexManager | None = None,
+    ) -> FilterEngine:
+        """Construct the engine, optionally on shared phase-1 state."""
+        return _FACTORIES[self.name](
+            registry=registry, indexes=indexes, **self.options
+        )
+
+    def with_options(self, **options: Any) -> EngineSpec:
+        """A copy of this spec with extra/overridden options."""
+        return EngineSpec(self.name, {**self.options, **options})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EngineSpec):
+            return NotImplemented
+        return self.name == other.name and dict(self.options) == dict(
+            other.options
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted(self.options))))
+
+
+def build_engine(
+    spec: EngineSpec | str,
+    *,
+    registry: PredicateRegistry | None = None,
+    indexes: IndexManager | None = None,
+    **options: Any,
+) -> FilterEngine:
+    """Construct an engine from a spec or a (canonical or alias) name.
+
+    Keyword ``options`` extend/override the spec's own options.
+    """
+    if isinstance(spec, str):
+        spec = EngineSpec(spec)
+    if options:
+        spec = spec.with_options(**options)
+    return spec.build(registry=registry, indexes=indexes)
+
+
+def resolve_engine(
+    engine: FilterEngine | EngineSpec | str | None,
+    *,
+    default: EngineSpec | str = "noncanonical",
+    registry: PredicateRegistry | None = None,
+    indexes: IndexManager | None = None,
+) -> FilterEngine:
+    """Accept an engine instance, a spec, a name, or ``None`` (default).
+
+    The single normalization point behind every API surface that takes
+    an ``engine`` argument (:class:`~repro.broker.broker.Broker`, the
+    overlay network, the experiment harness).
+    """
+    if engine is None:
+        engine = default
+    if isinstance(engine, FilterEngine):
+        return engine
+    if isinstance(engine, (str, EngineSpec)):
+        return build_engine(engine, registry=registry, indexes=indexes)
+    raise TypeError(
+        f"expected an engine instance, EngineSpec, or name; got {engine!r}"
+    )
+
+
+def engine_catalog() -> dict[str, type]:
+    """Engine display name -> engine class, derived from the registry.
+
+    The single source of truth behind ``repro.core.ENGINES``; includes
+    every engine registered with an ``engine_class``.
+    """
+    return {cls.name: cls for cls in _CLASSES}
+
+
+def spec_of(engine: FilterEngine) -> EngineSpec:
+    """The canonical spec naming ``engine``'s kind.
+
+    Captures engine *identity*, not construction options — round-trips
+    the name (``build_engine(name)`` → ``spec_of(...)`` → same name).
+    """
+    name = _CLASSES.get(type(engine))
+    if name is None:
+        name = _ALIASES.get(engine.name)
+    if name is None:
+        raise UnknownEngineError(engine.name)
+    return EngineSpec(name)
+
+
+def _build_paged(
+    *,
+    registry: PredicateRegistry | None = None,
+    indexes: IndexManager | None = None,
+    store: DiskTreeStore | None = None,
+    path: str | None = None,
+    page_size: int | None = None,
+    cache_pages: int | None = None,
+    **options: Any,
+) -> PagedNonCanonicalEngine:
+    """Paged-engine factory: store options spell out the disk store."""
+    if store is None and (path, page_size, cache_pages) != (None, None, None):
+        store_options: dict[str, Any] = {}
+        if page_size is not None:
+            store_options["page_size"] = page_size
+        if cache_pages is not None:
+            store_options["cache_pages"] = cache_pages
+        store = DiskTreeStore(path, **store_options)
+    return PagedNonCanonicalEngine(
+        store=store, registry=registry, indexes=indexes, **options
+    )
+
+
+register_engine(
+    "noncanonical",
+    NonCanonicalEngine,
+    engine_class=NonCanonicalEngine,
+    aliases=("non-canonical",),
+)
+register_engine(
+    "counting",
+    CountingEngine,
+    engine_class=CountingEngine,
+)
+register_engine(
+    "counting-variant",
+    CountingVariantEngine,
+    engine_class=CountingVariantEngine,
+)
+register_engine(
+    "matching-tree",
+    MatchingTreeEngine,
+    engine_class=MatchingTreeEngine,
+)
+register_engine(
+    "bruteforce",
+    BruteForceEngine,
+    engine_class=BruteForceEngine,
+    aliases=("brute-force",),
+)
+register_engine(
+    "paged",
+    _build_paged,
+    engine_class=PagedNonCanonicalEngine,
+    aliases=("non-canonical-paged",),
+)

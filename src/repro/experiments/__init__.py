@@ -9,6 +9,7 @@ warning).
 from .harness import (
     DEFAULT_BATCH_SIZES,
     DEFAULT_ENGINE_FACTORIES,
+    DEFAULT_ENGINES,
     EngineSweep,
     SweepPoint,
     SweepResult,
@@ -41,6 +42,7 @@ from .variance import Measurement, measure_until_stable
 __all__ = [
     "DEFAULT_BATCH_SIZES",
     "DEFAULT_ENGINE_FACTORIES",
+    "DEFAULT_ENGINES",
     "EngineSweep",
     "SweepPoint",
     "SweepResult",

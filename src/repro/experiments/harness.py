@@ -21,13 +21,14 @@ detection) back the claims benchmarks C2-C4.
 
 from __future__ import annotations
 
+import functools
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.base import FilterEngine
-from ..core.counting import CountingEngine, CountingVariantEngine
-from ..core.noncanonical import NonCanonicalEngine
+from ..core.registry import EngineSpec, build_engine
 from ..events.event import Event
 from ..indexes.manager import IndexManager
 from ..memory.model import SimulatedMachine
@@ -40,11 +41,79 @@ from ..workloads.generator import (
 
 EngineFactory = Callable[..., FilterEngine]
 
-DEFAULT_ENGINE_FACTORIES: tuple[EngineFactory, ...] = (
-    NonCanonicalEngine,
-    CountingVariantEngine,
-    CountingEngine,
+#: The engines the paper's Figure 3 compares, as registry specs —
+#: engine sweeps are data, not imports.
+DEFAULT_ENGINES: tuple[str, ...] = (
+    "noncanonical",
+    "counting-variant",
+    "counting",
 )
+
+#: Deprecated pre-registry spelling of :data:`DEFAULT_ENGINES`; kept one
+#: release as real factory callables (the old contract: each entry is
+#: called with ``registry=``/``indexes=``).
+DEFAULT_ENGINE_FACTORIES: tuple[EngineFactory, ...] = tuple(
+    functools.partial(build_engine, name) for name in DEFAULT_ENGINES
+)
+
+
+def _pick_engine_entries(
+    engines: Sequence | None,
+    engine_factories: Sequence[EngineFactory] | None,
+) -> Sequence:
+    """Resolve the ``engines``/``engine_factories`` pair of a sweep.
+
+    ``engine_factories`` is the deprecated spelling; passing both is an
+    error rather than a silent preference.
+    """
+    if engines is not None and engine_factories is not None:
+        raise TypeError(
+            "pass either engines= or the deprecated engine_factories=, "
+            "not both"
+        )
+    if engine_factories is not None:
+        warnings.warn(
+            "engine_factories= is deprecated and will be removed next "
+            "release; pass engines= (registry names, specs, or factories)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return engine_factories
+    return engines if engines is not None else DEFAULT_ENGINES
+
+
+def _materialize_engines(
+    entries: Sequence,
+    *,
+    registry: PredicateRegistry,
+    indexes: IndexManager,
+) -> list[FilterEngine]:
+    """Build one engine per entry on shared phase-1 state.
+
+    Entries may be registry names, :class:`EngineSpec` instances, or
+    factory callables; instances are rejected because a sweep *must*
+    share the registry/index manager across its engines.
+    """
+    engines: list[FilterEngine] = []
+    for entry in entries:
+        if isinstance(entry, FilterEngine):
+            raise TypeError(
+                f"pass an engine name, spec, or factory, not the instance "
+                f"{entry!r}: sweep engines must be constructed on the "
+                "sweep's shared registry and index manager"
+            )
+        if isinstance(entry, (str, EngineSpec)):
+            engines.append(
+                build_engine(entry, registry=registry, indexes=indexes)
+            )
+        elif callable(entry):
+            engines.append(entry(registry=registry, indexes=indexes))
+        else:
+            raise TypeError(
+                f"expected an engine name, EngineSpec, or factory; "
+                f"got {entry!r}"
+            )
+    return engines
 
 
 @dataclass(frozen=True)
@@ -133,13 +202,16 @@ def run_sweep(
     fulfilled_per_event: int,
     machine: SimulatedMachine,
     events_per_point: int = 5,
-    engine_factories: Sequence[EngineFactory] = DEFAULT_ENGINE_FACTORIES,
+    engines: Sequence | None = None,
+    engine_factories: Sequence[EngineFactory] | None = None,
     seed: int = 0,
     repeats: int = 3,
     verify_agreement: bool = True,
 ) -> SweepResult:
     """Run one panel's sweep across all engines.
 
+    ``engines`` entries are registry names, engine specs, or factory
+    callables (``engine_factories`` is the deprecated alias).
     ``subscription_counts`` must be ascending; registration is
     incremental so the total registration work equals one run at the
     largest count.
@@ -149,10 +221,11 @@ def run_sweep(
         raise ValueError("subscription_counts must be strictly ascending")
     registry = PredicateRegistry()
     indexes = IndexManager()
-    engines = [
-        factory(registry=registry, indexes=indexes)
-        for factory in engine_factories
-    ]
+    engines = _materialize_engines(
+        _pick_engine_entries(engines, engine_factories),
+        registry=registry,
+        indexes=indexes,
+    )
     generator = PaperSubscriptionGenerator(
         predicates_per_subscription=predicates_per_subscription, seed=seed
     )
@@ -287,14 +360,17 @@ def run_throughput_sweep(
     attributes_per_event: int = 16,
     value_range: int = 64,
     skew: float = 1.1,
-    engine_factories: Sequence[EngineFactory] = DEFAULT_ENGINE_FACTORIES,
+    engines: Sequence | None = None,
+    engine_factories: Sequence[EngineFactory] | None = None,
     seed: int = 0,
     repeats: int = 3,
     verify_agreement: bool = True,
 ) -> dict[str, list[ThroughputPoint]]:
     """The batched sweep: events/sec per engine per batch size.
 
-    All engines share one registry and index manager (identical phase 1,
+    ``engines`` entries are registry names, engine specs, or factory
+    callables (``engine_factories`` is the deprecated alias).  All
+    engines share one registry and index manager (identical phase 1,
     as everywhere in the reproduction) and are loaded with the same
     paper-shaped subscription population.  The event stream is
     Zipf-skewed over a small value domain so attribute values repeat
@@ -307,10 +383,11 @@ def run_throughput_sweep(
     """
     registry = PredicateRegistry()
     indexes = IndexManager()
-    engines = [
-        factory(registry=registry, indexes=indexes)
-        for factory in engine_factories
-    ]
+    engines = _materialize_engines(
+        _pick_engine_entries(engines, engine_factories),
+        registry=registry,
+        indexes=indexes,
+    )
     names = [engine.name for engine in engines]
     if len(set(names)) != len(names):
         raise ValueError(

@@ -4,45 +4,85 @@ Imported absolutely (``from helpers import ...``) — pytest's rootdir
 import mode puts ``tests/`` on ``sys.path``, so these helpers work both
 under ``python -m pytest`` from the repository root and when a single
 test module is run directly.
+
+Setting the ``REPRO_ENGINE`` environment variable to a registry name
+narrows :func:`make_all_engines` to that engine (constructed through the
+engine registry) plus the brute-force oracle — the CI engine matrix runs
+the agreement and parity suites once per engine this way, proving
+spec-driven construction for every engine.
 """
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import strategies as st
 
-from repro.core import (
-    BruteForceEngine,
-    CountingEngine,
-    CountingVariantEngine,
-    NonCanonicalEngine,
-)
+from repro import EngineSpec, build_engine, canonical_engine_name
 from repro.events import Event
 from repro.indexes import IndexManager
 from repro.predicates import Operator, Predicate, PredicateRegistry
 from repro.subscriptions import And, Not, Or, PredicateLeaf
 
+#: Canonical registry name selected by the CI engine matrix, or None.
+SELECTED_ENGINE = (
+    canonical_engine_name(os.environ["REPRO_ENGINE"])
+    if os.environ.get("REPRO_ENGINE")
+    else None
+)
+
+
+def _spec_options(name, *, complement_operators=False):
+    """Per-engine options making it workload-compatible with the suite."""
+    if name == "counting":
+        return {
+            "support_unsubscription": True,
+            "complement_operators": complement_operators,
+        }
+    if name in ("counting-variant", "matching-tree") and complement_operators:
+        return {"complement_operators": True}
+    return {}
+
 
 def make_all_engines(*, shared=True, complement_operators=False):
-    """One engine of each kind, optionally sharing registry/indexes."""
+    """One engine of each kind, optionally sharing registry/indexes.
+
+    The last engine is always the brute-force oracle.  With
+    ``REPRO_ENGINE`` set, returns just the selected engine (built from
+    its registry spec) followed by the oracle.
+    """
     if shared:
         registry = PredicateRegistry()
         indexes = IndexManager()
         kwargs = dict(registry=registry, indexes=indexes)
     else:
         kwargs = {}
+    if SELECTED_ENGINE is not None:
+        spec = EngineSpec(
+            SELECTED_ENGINE,
+            _spec_options(
+                SELECTED_ENGINE, complement_operators=complement_operators
+            ),
+        )
+        engines = [] if SELECTED_ENGINE == "bruteforce" else [spec.build(**kwargs)]
+        engines.append(build_engine("bruteforce", **kwargs))
+        return engines
     return [
-        NonCanonicalEngine(**kwargs),
-        NonCanonicalEngine(codec="varint", **kwargs),
-        NonCanonicalEngine(evaluation="encoded", **kwargs),
-        CountingEngine(
+        build_engine("noncanonical", **kwargs),
+        build_engine("noncanonical", codec="varint", **kwargs),
+        build_engine("noncanonical", evaluation="encoded", **kwargs),
+        build_engine(
+            "counting",
             support_unsubscription=True,
             complement_operators=complement_operators,
             **kwargs,
         ),
-        CountingVariantEngine(
-            complement_operators=complement_operators, **kwargs
+        build_engine(
+            "counting-variant",
+            complement_operators=complement_operators,
+            **kwargs,
         ),
-        BruteForceEngine(**kwargs),
+        build_engine("bruteforce", **kwargs),
     ]
 
 P1 = Predicate("a", Operator.GT, 10)

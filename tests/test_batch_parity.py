@@ -13,41 +13,46 @@ import random
 
 import pytest
 
+from repro import EngineSpec, UnsupportedSubscriptionError
 from repro.broker import Broker, BrokerNetwork
-from repro.core import (
-    BruteForceEngine,
-    CountingEngine,
-    CountingVariantEngine,
-    MatchingTreeEngine,
-    NonCanonicalEngine,
-    PagedNonCanonicalEngine,
-    UnsupportedSubscriptionError,
-)
 from repro.events import Event
 from repro.subscriptions import Subscription
 from repro.workloads import GeneralSubscriptionGenerator
 
-#: (id, factory, allow_not) — NOT-capable engines get NOT-bearing
-#: workloads (exercising empty-assignment matchers); the conjunctive
-#: pipeline engines get positive-literal workloads they can register.
+from helpers import SELECTED_ENGINE
+
+#: (id, spec, allow_not) — engines are constructed from registry specs.
+#: NOT-capable engines get NOT-bearing workloads (exercising
+#: empty-assignment matchers); the conjunctive pipeline engines get
+#: positive-literal workloads they can register.
 ENGINE_CASES = [
-    ("non-canonical", lambda: NonCanonicalEngine(), True),
-    ("non-canonical-varint", lambda: NonCanonicalEngine(codec="varint"), True),
+    ("noncanonical", EngineSpec("noncanonical"), True),
     (
-        "non-canonical-encoded",
-        lambda: NonCanonicalEngine(evaluation="encoded"),
+        "noncanonical-varint",
+        EngineSpec("noncanonical", {"codec": "varint"}),
         True,
     ),
-    ("non-canonical-paged", lambda: PagedNonCanonicalEngine(), True),
-    ("brute-force", lambda: BruteForceEngine(), True),
+    (
+        "noncanonical-encoded",
+        EngineSpec("noncanonical", {"evaluation": "encoded"}),
+        True,
+    ),
+    ("paged", EngineSpec("paged"), True),
+    ("bruteforce", EngineSpec("bruteforce"), True),
     (
         "counting",
-        lambda: CountingEngine(support_unsubscription=True),
+        EngineSpec("counting", {"support_unsubscription": True}),
         False,
     ),
-    ("counting-variant", lambda: CountingVariantEngine(), False),
-    ("matching-tree", lambda: MatchingTreeEngine(), False),
+    ("counting-variant", EngineSpec("counting-variant"), False),
+    ("matching-tree", EngineSpec("matching-tree"), False),
 ]
+
+if SELECTED_ENGINE is not None:
+    # the CI engine matrix (REPRO_ENGINE=<name>) runs one engine's cases
+    ENGINE_CASES = [
+        case for case in ENGINE_CASES if case[1].name == SELECTED_ENGINE
+    ]
 
 _NUMERIC = ("price", "volume", "qty", "score")
 _STRING = ("symbol", "category")
@@ -94,13 +99,13 @@ def _register_population(engine, *, allow_not: bool, count: int) -> list[int]:
 
 
 @pytest.mark.parametrize(
-    "factory, allow_not",
+    "spec, allow_not",
     [case[1:] for case in ENGINE_CASES],
     ids=[case[0] for case in ENGINE_CASES],
 )
-def test_match_batch_equals_sequential_match(factory, allow_not):
+def test_match_batch_equals_sequential_match(spec, allow_not):
     rng = random.Random(20050610)
-    engine = factory()
+    engine = spec.build()
     registered = _register_population(engine, allow_not=allow_not, count=40)
     assert registered, "workload registered nothing"
     events = _random_events(rng, 64)
@@ -108,15 +113,15 @@ def test_match_batch_equals_sequential_match(factory, allow_not):
 
 
 @pytest.mark.parametrize(
-    "factory, allow_not",
+    "spec, allow_not",
     [case[1:] for case in ENGINE_CASES],
     ids=[case[0] for case in ENGINE_CASES],
 )
-def test_match_batch_parity_across_unregister_interleavings(factory, allow_not):
+def test_match_batch_parity_across_unregister_interleavings(spec, allow_not):
     """Register → batch → unregister a third → batch → register more →
     batch; parity must hold at every step."""
     rng = random.Random(4711)
-    engine = factory()
+    engine = spec.build()
     registered = _register_population(engine, allow_not=allow_not, count=30)
     events = _random_events(rng, 32)
     assert engine.match_batch(events) == [engine.match(e) for e in events]
@@ -140,11 +145,11 @@ def test_match_batch_parity_across_unregister_interleavings(factory, allow_not):
 def test_match_fulfilled_batch_default_fallback():
     """The base-class default must already be batch-correct for any
     engine that doesn't override it."""
-    engine = NonCanonicalEngine()
+    engine = EngineSpec("noncanonical").build()
     _register_population(engine, allow_not=True, count=20)
     events = _random_events(random.Random(3), 16)
     fulfilled_sets = engine.indexes.match_batch(events)
-    from repro.core.base import FilterEngine
+    from repro import FilterEngine
 
     fallback = FilterEngine.match_fulfilled_batch(engine, fulfilled_sets)
     assert fallback == engine.match_fulfilled_batch(fulfilled_sets)
@@ -158,7 +163,7 @@ def test_broker_publish_batch_parity():
     broker.subscribe(
         "price > 10 and symbol prefix 'a'",
         subscriber="s1",
-        callback=received.append,
+        sink=received.append,
     )
     broker.subscribe("not price > 10", subscriber="s2")
     broker.subscribe("volume >= 5 or qty = 3", subscriber="s3")

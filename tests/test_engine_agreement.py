@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import (
+from repro import (
     BruteForceEngine,
     CountingEngine,
     CountingVariantEngine,

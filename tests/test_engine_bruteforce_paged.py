@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.core import (
+from repro import (
     BruteForceEngine,
     DiskTreeStore,
     PagedNonCanonicalEngine,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import (
+from repro import (
     CountingEngine,
     CountingVariantEngine,
     UnknownSubscriptionError,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import NonCanonicalEngine, UnknownSubscriptionError
+from repro import NonCanonicalEngine, UnknownSubscriptionError
 from repro.events import Event
 from repro.subscriptions import Subscription, parse
 from repro.workloads import PaperSubscriptionGenerator

@@ -123,7 +123,7 @@ TINY_SCALE = ScaleConfig(
 
 class TestHarness:
     def test_time_subscription_matching_positive(self):
-        from repro.core import NonCanonicalEngine
+        from repro import NonCanonicalEngine
         from repro.subscriptions import Subscription
 
         engine = NonCanonicalEngine()
@@ -132,7 +132,7 @@ class TestHarness:
         assert seconds > 0
 
     def test_time_requires_samples(self):
-        from repro.core import NonCanonicalEngine
+        from repro import NonCanonicalEngine
 
         with pytest.raises(ValueError):
             time_subscription_matching(NonCanonicalEngine(), [])

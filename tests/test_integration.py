@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.broker import Broker, BrokerNetwork, Publisher, Subscriber
-from repro.core import (
+from repro import (
     BruteForceEngine,
     CountingEngine,
     NonCanonicalEngine,
@@ -66,7 +66,7 @@ class TestScenarioPipelines:
                 network.subscribe(
                     site,
                     scenario.subscription(f"{site}-trader{index}"),
-                    callback=received[site].append,
+                    sink=received[site].append,
                 )
         deliveries = 0
         for _ in range(100):

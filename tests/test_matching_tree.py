@@ -6,13 +6,13 @@ import random
 
 import pytest
 
-from repro.core import (
+from repro import (
     BruteForceEngine,
     CountingEngine,
     UnknownSubscriptionError,
     UnsupportedSubscriptionError,
 )
-from repro.core.matching_tree import MatchingTreeEngine
+from repro import MatchingTreeEngine
 from repro.events import Event
 from repro.indexes import IndexManager
 from repro.predicates import PredicateRegistry

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import CountingEngine, NonCanonicalEngine
+from repro import CountingEngine, NonCanonicalEngine
 from repro.memory import (
     MIB,
     PAPER_MACHINE,

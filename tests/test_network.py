@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.broker import Broker, BrokerNetwork, TopologyError
-from repro.core import CountingEngine, NonCanonicalEngine
+from repro import CountingEngine, NonCanonicalEngine
 from repro.events import Event
 
 
@@ -84,7 +84,7 @@ class TestEventRouting:
         network = linear_network("a", "b", "c")
         received = []
         network.subscribe("c", "x = 1", subscriber="carol",
-                          callback=received.append)
+                          sink=received.append)
         deliveries = network.publish("a", Event({"x": 1}))
         assert len(deliveries) == 1
         assert deliveries[0].broker == "c"

@@ -7,7 +7,7 @@ import random
 import pytest
 from hypothesis import given, settings
 
-from repro.core import BruteForceEngine, NonCanonicalEngine
+from repro import BruteForceEngine, NonCanonicalEngine
 from repro.events import Event, InvalidEventError
 from repro.experiments.figure3 import PANELS, render_panel, run_panel
 from repro.experiments.parameters import ScaleConfig

@@ -19,7 +19,7 @@ from hypothesis.stateful import (
     rule,
 )
 
-from repro.core import CountingEngine, NonCanonicalEngine
+from repro import CountingEngine, NonCanonicalEngine
 from repro.events import Event
 from repro.indexes import IndexManager
 from repro.predicates import PredicateRegistry

@@ -6,7 +6,7 @@ import itertools
 
 import pytest
 
-from repro.core import CountingEngine, NonCanonicalEngine
+from repro import CountingEngine, NonCanonicalEngine
 from repro.experiments.profiling import (
     MatchingProfile,
     engine_comparison_summary,
