@@ -1,0 +1,134 @@
+"""Shard-scaling curves: throughput versus shard count per engine.
+
+``run_shard_sweep`` measures each engine unsharded (the single-shard
+serial baseline) and partitioned across 2 and 4 shards, recording
+speedup-vs-shard-count curves.  Three properties are asserted:
+
+* the sweep produces well-formed curves (parity is verified inside the
+  harness before anything is timed);
+* the **serial** executor's coordination overhead is bounded — sharding
+  without parallelism must not collapse throughput;
+* the **process** executor turns shards into real speedup: at
+  quick-benchmark scale, 4 shards reach ≥1.3× the single-shard serial
+  baseline on at least one engine.  On single-core runners (or without
+  the ``fork`` start method) that test *skips* — there is no parallel
+  hardware to demonstrate on.
+
+Numbers land in ``benchmark.extra_info`` so future PRs have a scaling
+trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.experiments.harness import run_shard_sweep
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+CPUS = os.cpu_count() or 1
+
+#: Engines the scaling benchmarks sweep: the paper's contribution and
+#: the heaviest per-event baseline (brute force scales best, since its
+#: phase-2 cost is linear in the shard's subscription count).
+ENGINES = ("noncanonical", "bruteforce")
+
+
+def test_shard_sweep_produces_curves():
+    """Quick-scale sweep: every engine gets a 1/2/4-shard curve with a
+    speedup relative to its own unsharded baseline."""
+    results = run_shard_sweep(
+        subscription_count=120,
+        event_count=128,
+        shard_counts=(1, 2, 4),
+        engines=ENGINES,
+        repeats=1,
+    )
+    assert set(results) == set(ENGINES)
+    for name, curve in results.items():
+        assert [point.shards for point in curve] == [1, 2, 4]
+        assert curve[0].executor == "serial"
+        assert curve[0].speedup == 1.0
+        assert all(point.events_per_second > 0 for point in curve)
+        assert all(point.engine == name for point in curve)
+
+
+def test_serial_sharding_overhead_is_bounded(benchmark):
+    """Partitioning without parallelism costs union/dispatch overhead
+    only — the 4-shard serial configuration must keep at least half the
+    unsharded throughput."""
+    results = run_shard_sweep(
+        subscription_count=300,
+        event_count=256,
+        shard_counts=(1, 4),
+        engines=("noncanonical",),
+        executor="serial",
+        repeats=3,
+    )
+    curve = results["noncanonical"]
+    four = next(point for point in curve if point.shards == 4)
+    benchmark.extra_info.update(
+        serial_speedup_4_shards=round(four.speedup, 3),
+        baseline_events_per_second=round(curve[0].events_per_second),
+    )
+
+    def run():
+        run_shard_sweep(
+            subscription_count=60,
+            event_count=64,
+            shard_counts=(1, 2),
+            engines=("noncanonical",),
+            repeats=1,
+        )
+
+    benchmark(run)
+    assert four.speedup > 0.5, (
+        f"serial 4-shard throughput collapsed to {four.speedup:.2f}x of "
+        "the unsharded baseline"
+    )
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+@pytest.mark.skipif(
+    CPUS < 2, reason="shard parallelism needs more than one core"
+)
+def test_process_executor_reaches_speedup(benchmark):
+    """The acceptance check: with the process executor, 4 shards reach
+    ≥1.3× the single-shard serial throughput on at least one engine."""
+    results = run_shard_sweep(
+        subscription_count=600,
+        event_count=256,
+        batch_size=256,
+        shard_counts=(1, 4),
+        engines=ENGINES,
+        executor="process",
+        repeats=3,
+    )
+    speedups = {
+        name: next(p.speedup for p in curve if p.shards == 4)
+        for name, curve in results.items()
+    }
+    best_engine = max(speedups, key=speedups.get)
+    benchmark.extra_info.update(
+        cpus=CPUS,
+        **{f"speedup_{name}": round(value, 3) for name, value in speedups.items()},
+    )
+
+    def run():
+        run_shard_sweep(
+            subscription_count=120,
+            event_count=64,
+            shard_counts=(1, 4),
+            engines=(best_engine,),
+            executor="process",
+            repeats=1,
+        )
+
+    benchmark(run)
+    assert speedups[best_engine] >= 1.3, (
+        f"process executor at 4 shards only reached "
+        f"{speedups[best_engine]:.2f}x on {best_engine} "
+        f"(all: {speedups}, {CPUS} cpus)"
+    )

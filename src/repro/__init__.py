@@ -57,14 +57,24 @@ from .core import (
     MatchingTreeEngine,
     NonCanonicalEngine,
     PagedNonCanonicalEngine,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ShardWorkerError,
+    ShardedEngine,
+    ThreadExecutor,
     UnknownEngineError,
     UnknownSubscriptionError,
     UnsupportedSubscriptionError,
     build_engine,
     canonical_engine_name,
     engine_names,
+    executor_names,
+    make_executor,
     register_engine,
+    register_executor,
     resolve_engine,
+    shard_index,
     spec_of,
 )
 from .events import (
@@ -114,6 +124,16 @@ __all__ = [
     "register_engine",
     "resolve_engine",
     "spec_of",
+    "ShardedEngine",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ShardWorkerError",
+    "executor_names",
+    "make_executor",
+    "register_executor",
+    "shard_index",
     "BruteForceEngine",
     "CountingEngine",
     "CountingVariantEngine",

@@ -416,11 +416,29 @@ class Broker:
         """Engine working set as a fraction of the machine budget.
 
         Returns 0.0 when no machine model is attached; values above 1.0
-        mean the simulated machine would be swapping.
+        mean the simulated machine would be swapping.  For a sharded
+        engine this is the *aggregated* pressure — the engine's memory
+        accounting sums its shards.
         """
         if self.machine is None:
             return 0.0
         return self.engine.memory_bytes() / self.machine.available_bytes
+
+    def engine_stats(self) -> dict:
+        """The engine's counters as plain data (name, counts, memory)."""
+        return self.engine.stats()
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard stats of the broker's engine.
+
+        One entry per shard for a sharded engine; a single entry (the
+        whole engine) otherwise, so monitoring code can treat every
+        broker uniformly.
+        """
+        per_shard = getattr(self.engine, "shard_stats", None)
+        if per_shard is not None:
+            return per_shard()
+        return [self.engine.stats()]
 
     def __repr__(self) -> str:
         return (

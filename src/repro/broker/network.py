@@ -460,5 +460,24 @@ class BrokerNetwork:
             for name, broker in self._brokers.items()
         }
 
+    def shard_report(self) -> dict[str, list[dict]]:
+        """Per-broker, per-shard engine stats.
+
+        Sharded brokers contribute one entry per shard, unsharded
+        brokers a single entry — see :meth:`Broker.shard_stats`.
+        """
+        return {
+            name: broker.shard_stats()
+            for name, broker in self._brokers.items()
+        }
+
+    def memory_pressure(self) -> dict[str, float]:
+        """Per-broker aggregated memory pressure (0.0 without a machine
+        model; sharded engines report the sum of their shards)."""
+        return {
+            name: broker.memory_pressure()
+            for name, broker in self._brokers.items()
+        }
+
     def __len__(self) -> int:
         return len(self._brokers)

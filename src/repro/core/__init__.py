@@ -21,6 +21,18 @@ from .registry import (
     resolve_engine,
     spec_of,
 )
+from .sharded import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ShardWorkerError,
+    ShardedEngine,
+    ThreadExecutor,
+    executor_names,
+    make_executor,
+    register_executor,
+    shard_index,
+)
 
 #: Engine display name -> class, a snapshot of the registry's catalog
 #: (kept for callers that predate the registry; new code should use
@@ -49,4 +61,14 @@ __all__ = [
     "register_engine",
     "resolve_engine",
     "spec_of",
+    "ShardedEngine",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ShardWorkerError",
+    "executor_names",
+    "make_executor",
+    "register_executor",
+    "shard_index",
 ]

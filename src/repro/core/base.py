@@ -91,6 +91,23 @@ class FilterEngine(abc.ABC):
         """
         return self.subscription_count
 
+    @abc.abstractmethod
+    def subscription_ids(self) -> frozenset[int]:
+        """Ids of the registered *original* subscriptions.
+
+        The introspection surface the sharded runtime partitions over;
+        ``len(subscription_ids()) == subscription_count`` always holds.
+        """
+
+    def stats(self) -> dict:
+        """One engine's counters as plain data (broker/shard reporting)."""
+        return {
+            "engine": self.name,
+            "subscriptions": self.subscription_count,
+            "stored_subscriptions": self.stored_subscription_count,
+            "memory_bytes": self.memory_bytes(),
+        }
+
     # ------------------------------------------------------------------
     # matching
     # ------------------------------------------------------------------
@@ -140,6 +157,16 @@ class FilterEngine(abc.ABC):
     def memory_bytes(self) -> int:
         """Total phase-2 memory under the paper's cost model."""
         return sum(self.memory_breakdown().values())
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release external resources; a no-op for in-memory engines.
+
+        The paged engine closes (and, when owned, deletes) its disk
+        store; the sharded engine closes its executor and shards.
+        """
 
     # ------------------------------------------------------------------
     # helpers shared by concrete engines

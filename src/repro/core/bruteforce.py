@@ -72,6 +72,9 @@ class BruteForceEngine(FilterEngine):
     def subscription_count(self) -> int:
         return len(self._subscriptions)
 
+    def subscription_ids(self) -> frozenset[int]:
+        return frozenset(self._subscriptions)
+
     def match(self, event: Event) -> set[int]:
         """True non-index matching: evaluate each expression on the event.
 

@@ -221,6 +221,9 @@ class CountingEngine(FilterEngine):
     def subscription_count(self) -> int:
         return len(self._original_ids)
 
+    def subscription_ids(self) -> frozenset[int]:
+        return frozenset(self._original_ids)
+
     @property
     def stored_subscription_count(self) -> int:
         """Live post-transformation clause count."""

@@ -205,6 +205,9 @@ class MatchingTreeEngine(FilterEngine):
     def stored_subscription_count(self) -> int:
         return self._clause_count
 
+    def subscription_ids(self) -> frozenset[int]:
+        return frozenset(self._clauses)
+
     def subscriber_of(self, subscription_id: int) -> str | None:
         """The subscriber registered for ``subscription_id``."""
         try:

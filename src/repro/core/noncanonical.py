@@ -175,6 +175,9 @@ class NonCanonicalEngine(FilterEngine):
     def subscription_count(self) -> int:
         return len(self._locations)
 
+    def subscription_ids(self) -> frozenset[int]:
+        return frozenset(self._locations)
+
     # ------------------------------------------------------------------
     # matching
     # ------------------------------------------------------------------

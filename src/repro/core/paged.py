@@ -234,6 +234,9 @@ class PagedNonCanonicalEngine(FilterEngine):
     def subscription_count(self) -> int:
         return len(self._locations)
 
+    def subscription_ids(self) -> frozenset[int]:
+        return frozenset(self._locations)
+
     def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
         """Candidate selection in RAM, tree evaluation through the cache."""
         candidates: set[int] = set(self._empty_assignment_matchers)

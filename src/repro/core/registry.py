@@ -22,6 +22,7 @@ accepted as an alias and normalized to the canonical form.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Callable, Mapping
@@ -106,6 +107,10 @@ def register_engine(
         _CLASSES[engine_class] = name
 
 
+#: ``"name×4"`` / ``"name x4"`` — the sharded-spec name shorthand.
+_SHARD_SHORTHAND = re.compile(r"^(?P<base>.*?)\s*[×x]\s*(?P<count>\d+)$")
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """A declarative engine configuration: a name plus constructor options.
@@ -117,16 +122,38 @@ class EngineSpec:
     >>> spec = EngineSpec("noncanonical", {"codec": "varint"})
     >>> spec.build().name
     'non-canonical'
+
+    Two reserved options describe the **sharded runtime** rather than
+    the inner engine: ``shards`` (partition the subscriptions across
+    that many inner engines, see :mod:`repro.core.sharded`) and
+    ``executor`` (the shard evaluation strategy, default ``"serial"``).
+    ``EngineSpec("noncanonical×4")`` is shorthand for
+    ``EngineSpec("noncanonical", {"shards": 4})`` — sharded configs
+    serialize, compare, and sweep like any engine.
     """
 
     name: str
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "name", canonical_engine_name(self.name))
-        object.__setattr__(
-            self, "options", MappingProxyType(dict(self.options))
-        )
+        name = self.name
+        options = dict(self.options)
+        try:
+            canonical = canonical_engine_name(name)
+        except UnknownEngineError:
+            shorthand = _SHARD_SHORTHAND.match(name)
+            if shorthand is None:
+                raise
+            canonical = canonical_engine_name(shorthand.group("base"))
+            count = int(shorthand.group("count"))
+            if options.get("shards", count) != count:
+                raise ValueError(
+                    f"spec name {name!r} says {count} shards but options "
+                    f"say shards={options['shards']}"
+                )
+            options["shards"] = count
+        object.__setattr__(self, "name", canonical)
+        object.__setattr__(self, "options", MappingProxyType(options))
 
     def build(
         self,
@@ -134,9 +161,32 @@ class EngineSpec:
         registry: PredicateRegistry | None = None,
         indexes: IndexManager | None = None,
     ) -> FilterEngine:
-        """Construct the engine, optionally on shared phase-1 state."""
+        """Construct the engine, optionally on shared phase-1 state.
+
+        A spec carrying ``shards`` builds a
+        :class:`~repro.core.sharded.ShardedEngine` whose inner shards
+        are built from the remaining options.
+        """
+        options = dict(self.options)
+        shards = options.pop("shards", None)
+        executor = options.pop("executor", None)
+        if shards is not None:
+            from .sharded import ShardedEngine
+
+            return ShardedEngine(
+                EngineSpec(self.name, options),
+                shards=shards,
+                executor=executor if executor is not None else "serial",
+                registry=registry,
+                indexes=indexes,
+            )
+        if executor is not None:
+            raise ValueError(
+                "the executor= option is only meaningful together with "
+                "shards="
+            )
         return _FACTORIES[self.name](
-            registry=registry, indexes=indexes, **self.options
+            registry=registry, indexes=indexes, **options
         )
 
     def with_options(self, **options: Any) -> EngineSpec:
@@ -210,7 +260,16 @@ def spec_of(engine: FilterEngine) -> EngineSpec:
 
     Captures engine *identity*, not construction options — round-trips
     the name (``build_engine(name)`` → ``spec_of(...)`` → same name).
+    For a sharded engine, identity includes the partitioning itself:
+    inner-engine name plus ``shards``/``executor``.
     """
+    from .sharded import ShardedEngine
+
+    if isinstance(engine, ShardedEngine):
+        return EngineSpec(
+            engine.spec.name,
+            {"shards": engine.shard_count, "executor": engine.executor_name},
+        )
     name = _CLASSES.get(type(engine))
     if name is None:
         name = _ALIASES.get(engine.name)

@@ -1,0 +1,605 @@
+"""Sharded matching runtime: partition subscriptions across engine shards.
+
+The paper benchmarks a single matcher process; scaling to millions of
+subscriptions needs the registered population split across several
+independent matchers whose answers are unioned.  This module provides
+that as a first-class engine: :class:`ShardedEngine` partitions
+subscriptions across ``N`` inner shards — each built from any
+:class:`~repro.core.registry.EngineSpec` — and evaluates them through a
+pluggable :class:`ShardExecutor` strategy.
+
+Three properties make the design sound:
+
+* **partitioning is a pure function of the subscription id**
+  (:func:`shard_index`, a Knuth multiplicative hash), so ``register``,
+  ``unregister`` and worker rebuilds all route identically without any
+  shared lookup table;
+* **shards share the parent's phase-1 state** (predicate registry and
+  index manager), so a fulfilled-predicate-id set means the same thing
+  to every shard and ``match_fulfilled`` is simply the union of the
+  shards' answers;
+* **subscription ids are globally stable**, so matched-id sets are
+  comparable no matter which process computed them — the process
+  executor's fork workers rebuild their shard from the inner spec plus
+  their subscription slice (private registry, private indexes) and only
+  events and matched ids ever cross the process boundary.
+
+Executor strategies
+-------------------
+``serial``
+    Evaluate shards one after another in the calling thread.  The
+    default: deterministic, zero overhead, the right choice for CI and
+    for correctness baselines.
+``thread``
+    Evaluate shards concurrently on a thread pool.  Pure-Python phase-2
+    code holds the GIL, so this mainly helps engines that block (the
+    paged engine's disk reads); it exists as the cheap concurrency
+    strategy and as the template for GIL-free runtimes.
+``process``
+    Fork one long-lived worker per shard.  Workers rebuild their shard
+    from ``spec`` + subscription slice at start and stay current under
+    churn (register/unregister commands are forwarded).  Only
+    :meth:`ShardedEngine.match_batch` is routed to workers — phase-2-only
+    entry points (``match_fulfilled``) take fulfilled predicate ids that
+    are parent-registry-relative, which a rebuilt worker cannot
+    interpret, so they fall back to the in-process shards.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import AbstractSet, Callable, Mapping, Sequence, TypeVar
+
+from ..events.event import Event
+from ..indexes.manager import IndexManager
+from ..predicates.registry import PredicateRegistry
+from ..subscriptions.subscription import Subscription
+from .base import FilterEngine, UnknownSubscriptionError
+from .registry import EngineSpec
+
+T = TypeVar("T")
+
+#: Knuth's multiplicative constant (2^32 / phi); spreads consecutive ids.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+def shard_index(subscription_id: int, shard_count: int) -> int:
+    """The shard owning ``subscription_id`` — stable across processes.
+
+    A multiplicative hash with the high half folded into the low half —
+    a bare ``(id * C) % shards`` keeps ``id``'s own low bits for
+    power-of-two shard counts, degenerating to round-robin, and plain
+    ``id % shards`` aliases with any periodic id sequence.  Deliberately
+    *not* Python's ``hash()``, whose string seed varies per process
+    (ints are unseeded today, but the partitioner must never depend on
+    that staying true).
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    mixed = (subscription_id * _HASH_MULTIPLIER) & _HASH_MASK
+    mixed ^= mixed >> 16
+    return mixed % shard_count
+
+
+# ----------------------------------------------------------------------
+# executor strategies
+# ----------------------------------------------------------------------
+class ShardExecutor(abc.ABC):
+    """Strategy that evaluates per-shard work and collects the results.
+
+    A strategy is bound to exactly one :class:`ShardedEngine`
+    (:meth:`bind`), sees every registration change
+    (:meth:`notify_register` / :meth:`notify_unregister`), and is closed
+    with the engine.  The two evaluation hooks:
+
+    * :meth:`map_shards` runs one zero-argument job per shard against
+      the engine's *in-process* shards and returns their results in
+      shard order — phase-2 work (``match_fulfilled``) flows through it;
+    * :meth:`match_batch_events` may claim full two-phase batch matching
+      (events in, per-event matched-id sets out); returning ``None``
+      defers to the in-process pipeline.
+    """
+
+    #: Strategy name as it appears in specs and ``executor=`` options.
+    name: str = "abstract"
+
+    def bind(self, engine: "ShardedEngine") -> None:
+        """Attach to the owning engine; called once, before any work."""
+        self._engine = engine
+
+    def close(self) -> None:
+        """Release pools/workers; the engine is unusable through this
+        strategy afterwards."""
+
+    def notify_register(self, shard: int, subscription: Subscription) -> None:
+        """``subscription`` was registered on shard ``shard``."""
+
+    def notify_unregister(self, shard: int, subscription_id: int) -> None:
+        """``subscription_id`` was unregistered from shard ``shard``."""
+
+    @abc.abstractmethod
+    def map_shards(self, jobs: Sequence[Callable[[], T]]) -> list[T]:
+        """Run one job per shard; return results in shard order."""
+
+    def match_batch_events(self, events: Sequence[Event]) -> list[set[int]] | None:
+        """Full two-phase batch matching, or ``None`` to use the
+        in-process phase-1 + ``match_fulfilled_batch`` pipeline."""
+        return None
+
+
+class SerialExecutor(ShardExecutor):
+    """Evaluate shards in order on the calling thread (deterministic)."""
+
+    name = "serial"
+
+    def map_shards(self, jobs: Sequence[Callable[[], T]]) -> list[T]:
+        return [job() for job in jobs]
+
+
+class ThreadExecutor(ShardExecutor):
+    """Evaluate shards concurrently on a lazily-created thread pool."""
+
+    name = "thread"
+
+    def __init__(self) -> None:
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map_shards(self, jobs: Sequence[Callable[[], T]]) -> list[T]:
+        if len(jobs) <= 1:
+            return [job() for job in jobs]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(jobs), thread_name_prefix="repro-shard"
+            )
+        return list(self._pool.map(lambda job: job(), jobs))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _shard_worker_main(
+    connection,
+    spec: EngineSpec,
+    subscriptions: list[Subscription],
+) -> None:
+    """Worker loop: rebuild the shard from spec + slice, serve commands.
+
+    Runs in a forked child.  The engine is rebuilt on a *private*
+    registry and index manager — predicate ids here mean nothing to the
+    parent, which is why the protocol only ever carries events, whole
+    subscriptions, and matched subscription ids.
+    """
+    try:
+        engine = spec.build()
+        for subscription in subscriptions:
+            engine.register(subscription)
+    except BaseException:
+        connection.send(("error", traceback.format_exc()))
+        connection.close()
+        return
+    connection.send(("ready", engine.subscription_count))
+    while True:
+        try:
+            command, payload = connection.recv()
+        except EOFError:
+            break
+        try:
+            if command == "match_batch":
+                connection.send(("ok", engine.match_batch(payload)))
+            elif command == "register":
+                engine.register(payload)
+                connection.send(("ok", None))
+            elif command == "unregister":
+                engine.unregister(payload)
+                connection.send(("ok", None))
+            elif command == "stop":
+                connection.send(("ok", None))
+                break
+            else:
+                connection.send(("error", f"unknown command {command!r}"))
+        except BaseException:
+            connection.send(("error", traceback.format_exc()))
+    engine.close()
+    connection.close()
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process reported a failure."""
+
+
+class ProcessExecutor(ShardExecutor):
+    """One forked, long-lived worker process per shard.
+
+    Workers are started lazily on the first batch match (so purely
+    serial usage never pays the fork) and rebuilt shards stay current:
+    registrations after start are forwarded as commands.  Requires the
+    ``fork`` start method — on platforms without it construction of the
+    worker pool raises, and callers should use ``serial`` or ``thread``.
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self._connections: list = []
+        self._processes: list = []
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        engine = self._engine
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ShardWorkerError(
+                "the process executor needs the 'fork' start method "
+                "(unavailable on this platform); use executor='serial' "
+                "or 'thread'"
+            )
+        context = multiprocessing.get_context("fork")
+        slices = engine.shard_subscription_slices()
+        try:
+            for shard, subscriptions in enumerate(slices):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_end, engine.spec, subscriptions),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._processes.append(process)
+            for shard, connection in enumerate(self._connections):
+                status, payload = connection.recv()
+                if status != "ready":
+                    raise ShardWorkerError(
+                        f"shard worker {shard} failed to build:\n{payload}"
+                    )
+        except BaseException:
+            # tear everything down so a retry starts from scratch instead
+            # of appending a second worker set to a half-built pool
+            self.close()
+            raise
+        self._started = True
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("stop", None))
+                connection.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+        self._connections = []
+        self._processes = []
+        self._started = False
+
+    # -- command plumbing ----------------------------------------------
+    def _command_one(self, shard: int, command: str, payload):
+        """One command round-trip; any failure **stops the pool**.
+
+        The parent's in-process shards are the authoritative state.  If
+        a worker cannot be kept in sync (command error, dead pipe), the
+        only safe move is to kill the workers: the next batch match
+        rebuilds them from the parent's current slices.  Leaving them
+        running would silently return match sets from divergent state.
+        """
+        connection = self._connections[shard]
+        try:
+            connection.send((command, payload))
+            status, result = connection.recv()
+        except (BrokenPipeError, EOFError, OSError) as error:
+            self.close()
+            raise ShardWorkerError(
+                f"shard worker {shard} died during {command!r}: {error}"
+            ) from error
+        if status != "ok":
+            self.close()
+            raise ShardWorkerError(
+                f"shard worker {shard} failed on {command!r}:\n{result}"
+            )
+        return result
+
+    def notify_register(self, shard: int, subscription: Subscription) -> None:
+        if self._started:
+            self._command_one(shard, "register", subscription)
+
+    def notify_unregister(self, shard: int, subscription_id: int) -> None:
+        if self._started:
+            self._command_one(shard, "unregister", subscription_id)
+
+    # -- evaluation -----------------------------------------------------
+    def map_shards(self, jobs: Sequence[Callable[[], T]]) -> list[T]:
+        # Phase-2-only work takes parent-registry-relative predicate ids,
+        # which a rebuilt worker cannot interpret; run it in-process.
+        return [job() for job in jobs]
+
+    def match_batch_events(self, events: Sequence[Event]) -> list[set[int]]:
+        self._ensure_started()
+        # Scatter the whole batch to every worker first, then gather —
+        # the send/recv split is where the parallelism comes from.
+        payload = list(events)
+        per_shard: list[list[set[int]]] = []
+        try:
+            for connection in self._connections:
+                connection.send(("match_batch", payload))
+            for shard, connection in enumerate(self._connections):
+                status, result = connection.recv()
+                if status != "ok":
+                    raise ShardWorkerError(
+                        f"shard worker {shard} failed on "
+                        f"'match_batch':\n{result}"
+                    )
+                per_shard.append(result)
+        except BaseException:
+            # fail-stop: a half-drained pool would misalign every later
+            # round-trip; the next call restarts from parent state
+            self.close()
+            raise
+        return [
+            set().union(*(shard_sets[i] for shard_sets in per_shard))
+            for i in range(len(payload))
+        ]
+
+
+#: executor name -> zero-argument strategy factory
+_EXECUTORS: dict[str, Callable[[], ShardExecutor]] = {}
+
+
+def register_executor(
+    name: str, factory: Callable[[], ShardExecutor], *, override: bool = False
+) -> None:
+    """Add an executor strategy under ``name`` (pluggable, like engines)."""
+    if not name:
+        raise ValueError("executor name must be non-empty")
+    if name in _EXECUTORS and not override:
+        raise ValueError(
+            f"executor {name!r} is already registered; pass override=True "
+            "to replace it"
+        )
+    _EXECUTORS[name] = factory
+
+
+def executor_names() -> tuple[str, ...]:
+    """The registered executor strategy names, in registration order."""
+    return tuple(_EXECUTORS)
+
+
+def make_executor(executor: ShardExecutor | str) -> ShardExecutor:
+    """Resolve an executor strategy instance or registered name."""
+    if isinstance(executor, ShardExecutor):
+        return executor
+    try:
+        factory = _EXECUTORS[executor]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown executor {executor!r}; registered executors: "
+            f"{', '.join(executor_names())}"
+        ) from None
+    return factory()
+
+
+register_executor("serial", SerialExecutor)
+register_executor("thread", ThreadExecutor)
+register_executor("process", ProcessExecutor)
+
+
+# ----------------------------------------------------------------------
+# the sharded engine
+# ----------------------------------------------------------------------
+class ShardedEngine(FilterEngine):
+    """Partition subscriptions across N inner engines built from one spec.
+
+    Parameters
+    ----------
+    spec:
+        Inner-engine configuration — an
+        :class:`~repro.core.registry.EngineSpec`, a registry name, or
+        ``None`` for the default non-canonical engine.  The spec may not
+        itself be sharded (no nesting).
+    shards:
+        Number of inner shards (>= 1).
+    executor:
+        Evaluation strategy: a registered name (``"serial"``,
+        ``"thread"``, ``"process"``) or a :class:`ShardExecutor`
+        instance.
+    registry / indexes:
+        Shared phase-1 state, as for every engine; all shards share it,
+        so one phase-1 pass serves every shard.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        spec: EngineSpec | str | None = None,
+        *,
+        shards: int = 2,
+        executor: ShardExecutor | str = "serial",
+        registry: PredicateRegistry | None = None,
+        indexes: IndexManager | None = None,
+    ) -> None:
+        super().__init__(registry=registry, indexes=indexes)
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if spec is None:
+            spec = EngineSpec("noncanonical")
+        elif isinstance(spec, str):
+            spec = EngineSpec(spec)
+        if "shards" in spec.options or "executor" in spec.options:
+            raise ValueError(
+                f"inner spec {spec!r} is itself sharded; nested sharding "
+                "is not supported"
+            )
+        self.spec = spec
+        self.shard_count = shards
+        self._shards: list[FilterEngine] = [
+            spec.build(registry=self.registry, indexes=self.indexes)
+            for _ in range(shards)
+        ]
+        self._subscriptions: dict[int, Subscription] = {}
+        self._executor = make_executor(executor)
+        self._executor.bind(self)
+        self.name = f"{self._shards[0].name}×{shards}"
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def executor_name(self) -> str:
+        """Name of the active executor strategy."""
+        return self._executor.name
+
+    @property
+    def shards(self) -> tuple[FilterEngine, ...]:
+        """The in-process shard engines, in shard order."""
+        return tuple(self._shards)
+
+    def shard_of(self, subscription_id: int) -> int:
+        """The shard owning ``subscription_id`` (pure partitioner)."""
+        return shard_index(subscription_id, self.shard_count)
+
+    def shard_subscription_slices(self) -> list[list[Subscription]]:
+        """Per-shard subscription lists, each in registration (id) order.
+
+        This plus :attr:`spec` is everything a worker needs to rebuild a
+        shard — the contract the process executor relies on.
+        """
+        slices: list[list[Subscription]] = [[] for _ in self._shards]
+        for sid in sorted(self._subscriptions):
+            slices[self.shard_of(sid)].append(self._subscriptions[sid])
+        return slices
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard stats dicts (shard index added to each)."""
+        stats = []
+        for index, shard in enumerate(self._shards):
+            entry = shard.stats()
+            entry["shard"] = index
+            stats.append(entry)
+        return stats
+
+    def stats(self) -> dict:
+        entry = super().stats()
+        entry["shards"] = self.shard_count
+        entry["executor"] = self.executor_name
+        return entry
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, subscription: Subscription) -> None:
+        """Route to the owning shard; the executor mirrors the change."""
+        sid = subscription.subscription_id
+        if sid in self._subscriptions:
+            raise ValueError(f"subscription id {sid} already registered")
+        shard = self.shard_of(sid)
+        # may raise UnsupportedSubscriptionError — before any bookkeeping
+        self._shards[shard].register(subscription)
+        self._subscriptions[sid] = subscription
+        self._executor.notify_register(shard, subscription)
+
+    def unregister(self, subscription_id: int) -> None:
+        if subscription_id not in self._subscriptions:
+            raise UnknownSubscriptionError(subscription_id)
+        shard = self.shard_of(subscription_id)
+        self._shards[shard].unregister(subscription_id)
+        del self._subscriptions[subscription_id]
+        self._executor.notify_unregister(shard, subscription_id)
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    @property
+    def stored_subscription_count(self) -> int:
+        return sum(shard.stored_subscription_count for shard in self._shards)
+
+    def subscription_ids(self) -> frozenset[int]:
+        return frozenset(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
+        """Union of the shards' phase-2 answers, via the executor."""
+        answers = self._executor.map_shards(
+            [
+                lambda shard=shard: shard.match_fulfilled(fulfilled_ids)
+                for shard in self._shards
+            ]
+        )
+        return set().union(*answers)
+
+    def match_fulfilled_batch(
+        self, fulfilled_sets: Sequence[AbstractSet[int]]
+    ) -> list[set[int]]:
+        answers = self._executor.map_shards(
+            [
+                lambda shard=shard: shard.match_fulfilled_batch(fulfilled_sets)
+                for shard in self._shards
+            ]
+        )
+        return [
+            set().union(*(shard_sets[i] for shard_sets in answers))
+            for i in range(len(fulfilled_sets))
+        ]
+
+    def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
+        """Batch matching; the executor may claim the whole pipeline.
+
+        The process executor routes the events to its workers (each runs
+        both phases over its slice); the in-process strategies run one
+        shared phase-1 pass and fan phase 2 out across the shards.
+        """
+        events = list(events)
+        if not events:
+            return []
+        routed = self._executor.match_batch_events(events)
+        if routed is not None:
+            return routed
+        return super().match_batch(events)
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def memory_breakdown(self) -> Mapping[str, int]:
+        """Aggregated per-structure bytes, summed across shards."""
+        total: dict[str, int] = {}
+        for shard in self._shards:
+            for key, value in shard.memory_breakdown().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the executor (workers, pools) and the shards."""
+        self._executor.close()
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine({self.spec.name!r}, shards={self.shard_count}, "
+            f"executor={self.executor_name!r}, "
+            f"subscriptions={self.subscription_count})"
+        )

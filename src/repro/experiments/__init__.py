@@ -10,6 +10,8 @@ from .harness import (
     DEFAULT_BATCH_SIZES,
     DEFAULT_ENGINE_FACTORIES,
     DEFAULT_ENGINES,
+    DEFAULT_SHARD_COUNTS,
+    ShardScalingPoint,
     EngineSweep,
     SweepPoint,
     SweepResult,
@@ -19,6 +21,7 @@ from .harness import (
     least_squares_slope,
     measure_throughput,
     normalized_slope,
+    run_shard_sweep,
     run_sweep,
     run_throughput_sweep,
     time_subscription_matching,
@@ -55,6 +58,9 @@ __all__ = [
     "run_sweep",
     "run_throughput_sweep",
     "time_subscription_matching",
+    "DEFAULT_SHARD_COUNTS",
+    "ShardScalingPoint",
+    "run_shard_sweep",
     "FULL_SCALE",
     "PAPER_PARAMETERS",
     "QUICK_SCALE",

@@ -440,6 +440,161 @@ def run_throughput_sweep(
 
 
 # ----------------------------------------------------------------------
+# shard scaling (speedup versus shard count)
+# ----------------------------------------------------------------------
+#: Shard counts the scaling sweep reports by default.
+DEFAULT_SHARD_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class ShardScalingPoint:
+    """Events/sec of one engine partitioned across ``shards`` shards."""
+
+    engine: str                   # inner-engine canonical spec name
+    shards: int
+    executor: str
+    batch_size: int
+    events: int                   # events matched per repeat
+    seconds: float                # best-of-repeats wall time for them
+    events_per_second: float
+    speedup: float                # vs the single-shard serial baseline
+
+
+def run_shard_sweep(
+    *,
+    subscription_count: int,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    executor: str = "serial",
+    engines: Sequence | None = None,
+    batch_size: int = 256,
+    predicates_per_subscription: int = 6,
+    event_count: int = 512,
+    attribute_pool: int = 64,
+    attributes_per_event: int = 16,
+    value_range: int = 64,
+    skew: float = 1.1,
+    seed: int = 0,
+    repeats: int = 3,
+    verify_parity: bool = True,
+) -> dict[str, list[ShardScalingPoint]]:
+    """Speedup-versus-shard-count curves, one per engine.
+
+    For each engine (registry names or specs; factories and instances
+    are rejected because the sweep derives sharded variants from the
+    spec), the same subscription population and event stream are matched
+    by the **unsharded** engine — the single-shard serial baseline,
+    reported as the ``shards=1`` point with ``speedup=1.0`` — and by a
+    :class:`~repro.core.sharded.ShardedEngine` at every other shard
+    count with the requested ``executor``.  Speedups are relative to
+    that baseline, so a curve above 1.0 means partitioning pays for its
+    coordination.
+
+    With the ``serial`` executor the curve isolates pure partitioning
+    overhead (expect ≈1.0 or slightly below); ``thread`` adds GIL-bound
+    concurrency; ``process`` is where multi-core speedups appear, since
+    each fork worker matches its slice with both phases in parallel.
+
+    With ``verify_parity``, each sharded configuration's ``match_batch``
+    over the first events is checked against the unsharded engine before
+    anything is timed.
+    """
+    counts = list(shard_counts)
+    if counts != sorted(counts) or len(set(counts)) != len(counts):
+        raise ValueError("shard_counts must be strictly ascending")
+    if counts and counts[0] < 1:
+        raise ValueError("shard counts must be at least 1")
+    entries = engines if engines is not None else DEFAULT_ENGINES
+    specs: list[EngineSpec] = []
+    for entry in entries:
+        if not isinstance(entry, (str, EngineSpec)):
+            raise TypeError(
+                f"expected an engine name or EngineSpec, got {entry!r}: "
+                "the shard sweep derives sharded variants from the spec"
+            )
+        spec = EngineSpec(entry) if isinstance(entry, str) else entry
+        if "shards" in spec.options:
+            raise ValueError(
+                f"pass the unsharded spec, not {spec!r}; shard counts "
+                "come from shard_counts="
+            )
+        specs.append(spec)
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"engines must be distinct, got {names}")
+
+    registry = PredicateRegistry()
+    indexes = IndexManager()
+    subscriptions = PaperSubscriptionGenerator(
+        predicates_per_subscription=predicates_per_subscription,
+        attribute_pool=attribute_pool,
+        seed=seed,
+    ).subscriptions(subscription_count)
+    events = EventGenerator(
+        attribute_pool=attribute_pool,
+        attributes_per_event=attributes_per_event,
+        value_range=value_range,
+        skew=skew,
+        seed=seed + 1,
+    ).events(event_count)
+    probe = events[:min(32, len(events))]
+
+    def measure(name, engine, shards: int, executor_name: str, speedup_base=None):
+        point = measure_throughput(
+            engine, events, batch_size=batch_size, repeats=repeats
+        )
+        return ShardScalingPoint(
+            engine=name,
+            shards=shards,
+            executor=executor_name,
+            batch_size=batch_size,
+            events=point.events,
+            seconds=point.seconds,
+            events_per_second=point.events_per_second,
+            speedup=(
+                1.0
+                if speedup_base is None
+                else point.events_per_second / speedup_base
+            ),
+        )
+
+    results: dict[str, list[ShardScalingPoint]] = {}
+    for spec in specs:
+        baseline_engine = spec.build(registry=registry, indexes=indexes)
+        for subscription in subscriptions:
+            baseline_engine.register(subscription)
+        baseline = measure(spec.name, baseline_engine, 1, "serial")
+        curve = [baseline]
+        expected = baseline_engine.match_batch(probe) if verify_parity else None
+        for shard_count in counts:
+            if shard_count == 1:
+                continue  # the unsharded baseline is the shards=1 point
+            sharded = spec.with_options(
+                shards=shard_count, executor=executor
+            ).build(registry=registry, indexes=indexes)
+            try:
+                for subscription in subscriptions:
+                    sharded.register(subscription)
+                if expected is not None and sharded.match_batch(probe) != expected:
+                    raise AssertionError(
+                        f"{sharded.name} ({executor}) disagrees with the "
+                        f"unsharded {spec.name} engine"
+                    )
+                curve.append(
+                    measure(
+                        spec.name,
+                        sharded,
+                        shard_count,
+                        executor,
+                        speedup_base=baseline.events_per_second,
+                    )
+                )
+            finally:
+                sharded.close()
+        results[spec.name] = curve
+    return results
+
+
+# ----------------------------------------------------------------------
 # shape analysis (claims C2-C4)
 # ----------------------------------------------------------------------
 def least_squares_slope(series: Sequence[tuple[float, float]]) -> tuple[float, float]:

@@ -14,11 +14,14 @@ from .generator import (
 )
 from .scenarios import (
     AUCTION_SCHEMA,
+    HOTKEY_SCHEMA,
     NEWS_SCHEMA,
     STOCK_SCHEMA,
     STOCK_SYMBOLS,
     AuctionScenario,
+    ChurnScenario,
     NewsScenario,
+    SkewedHotKeyScenario,
     StockScenario,
 )
 
@@ -32,10 +35,13 @@ __all__ = [
     "GeneralSubscriptionGenerator",
     "PaperSubscriptionGenerator",
     "AUCTION_SCHEMA",
+    "HOTKEY_SCHEMA",
     "NEWS_SCHEMA",
     "STOCK_SCHEMA",
     "STOCK_SYMBOLS",
     "AuctionScenario",
+    "ChurnScenario",
     "NewsScenario",
+    "SkewedHotKeyScenario",
     "StockScenario",
 ]

@@ -9,16 +9,27 @@ streams for three such domains:
   symbols and volumes with real Boolean structure;
 * **auction monitor** — bid events; sniping/outbid alert subscriptions;
 * **news alerts** — headline events with string predicates.
+
+Two further scenarios exist to stress the **sharded runtime** rather
+than to model a domain:
+
+* **skewed hot keys** — a handful of keys receive most of the events
+  *and* most of the subscriptions, so candidate work concentrates
+  instead of spreading evenly (the adversarial case for a partitioner);
+* **subscribe/unsubscribe churn** — a deterministic interleaving of
+  registrations, withdrawals and publications, the workload that
+  exercises partition routing and worker mirroring under mutation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Union
 
 from ..events.event import Event
 from ..events.schema import AttributeSpec, AttributeType, EventSchema
 from ..subscriptions.subscription import Subscription
-from .distributions import make_rng
+from .distributions import make_rng, zipf_weights
 
 STOCK_SYMBOLS = (
     "ACME", "GLOBEX", "INITECH", "UMBRELLA", "HOOLI",
@@ -184,3 +195,186 @@ class NewsScenario:
             f"or urgency >= 5"
         )
         return Subscription.from_text(text, subscriber=subscriber)
+
+
+HOTKEY_SCHEMA = EventSchema(
+    "update",
+    [
+        AttributeSpec("key", AttributeType.STRING, required=True),
+        AttributeSpec("value", AttributeType.INT, required=True),
+        AttributeSpec("region", AttributeType.STRING),
+    ],
+)
+
+
+@dataclass
+class SkewedHotKeyScenario:
+    """Zipf-skewed key popularity: the partitioner's adversarial case.
+
+    A small set of *hot* keys receives most of the event traffic and
+    most of the subscription interest (both drawn from the same Zipf
+    distribution over key ranks).  Under uniform hashing the hot
+    subscriptions still spread across shards — which is exactly the
+    property the shard-parity and scaling suites verify with this
+    scenario — but per-event candidate sets are large and highly
+    overlapping, so load per shard is dominated by a few keys.
+
+    Parameters
+    ----------
+    keys:
+        Size of the key universe.
+    skew:
+        Zipf exponent over key ranks; 0 degenerates to uniform traffic.
+    value_range:
+        Values are uniform ints in ``[0, value_range)``.
+    """
+
+    seed: int | None = 0
+    keys: int = 64
+    skew: float = 1.2
+    value_range: int = 1000
+    regions: tuple[str, ...] = ("us", "eu", "apac")
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._keys = [f"k{index:03d}" for index in range(self.keys)]
+        self._weights = zipf_weights(self.keys, self.skew)
+
+    def _pick_key(self) -> str:
+        return self._rng.choices(self._keys, weights=self._weights, k=1)[0]
+
+    def event(self) -> Event:
+        """One update on a popularity-skewed key."""
+        rng = self._rng
+        event = Event(
+            {
+                "key": self._pick_key(),
+                "value": rng.randrange(self.value_range),
+                "region": rng.choice(self.regions),
+            }
+        )
+        HOTKEY_SCHEMA.validate(event)
+        return event
+
+    def events(self, count: int) -> list[Event]:
+        """A batch of ``count`` skewed events."""
+        return [self.event() for _ in range(count)]
+
+    def subscription(self, subscriber: str) -> Subscription:
+        """Interest in a (skew-chosen) key: a value band, optionally
+        escalating on a second hot key — OR structure, so the canonical
+        engines pay their transformation here too."""
+        rng = self._rng
+        key = self._pick_key()
+        low = rng.randrange(self.value_range // 2)
+        high = low + rng.randrange(1, self.value_range // 2)
+        if rng.random() < 0.5:
+            other = self._pick_key()
+            region = rng.choice(self.regions)
+            text = (
+                f"(key = '{key}' and value >= {low} and value <= {high}) "
+                f"or (key = '{other}' and region = '{region}')"
+            )
+        else:
+            text = f"key = '{key}' and value >= {low} and value <= {high}"
+        return Subscription.from_text(text, subscriber=subscriber)
+
+    def subscriptions(self, count: int) -> list[Subscription]:
+        """A batch of ``count`` skew-targeted subscriptions."""
+        return [
+            self.subscription(f"subscriber{index:04d}")
+            for index in range(count)
+        ]
+
+
+#: One churn operation: ``("subscribe", Subscription)``,
+#: ``("unsubscribe", int)`` or ``("publish", Event)``.
+ChurnOp = tuple[str, Union[Subscription, int, Event]]
+
+
+@dataclass
+class ChurnScenario:
+    """Deterministic subscribe/unsubscribe churn interleaved with traffic.
+
+    Produces an operation stream over a base scenario (default
+    :class:`SkewedHotKeyScenario`): warm-up registrations, then a mix of
+    publications, fresh subscriptions, and withdrawals of a *random
+    live* subscription.  The stream is a pure function of the seed, so
+    two engines fed the same stream must produce identical match sets —
+    the property the sharded-parity churn suite asserts.
+
+    Parameters
+    ----------
+    warmup_subscriptions:
+        Registrations emitted before any other operation.
+    subscribe_weight / unsubscribe_weight / publish_weight:
+        Relative frequencies of the three operation kinds after warm-up.
+    """
+
+    seed: int | None = 0
+    base: object | None = None
+    warmup_subscriptions: int = 20
+    subscribe_weight: float = 1.0
+    unsubscribe_weight: float = 1.0
+    publish_weight: float = 3.0
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+        if self.base is None:
+            self.base = SkewedHotKeyScenario(seed=self.seed)
+
+    def ops(self, count: int) -> Iterator[ChurnOp]:
+        """Yield ``count`` post-warm-up operations (plus the warm-up).
+
+        Withdrawals target a random live subscription; when none is
+        live, a registration is emitted instead, so the stream is always
+        applicable.
+        """
+        rng = self._rng
+        live: list[int] = []
+        serial = 0
+
+        def fresh() -> Subscription:
+            nonlocal serial
+            subscription = self.base.subscription(f"churn{serial:05d}")
+            serial += 1
+            live.append(subscription.subscription_id)
+            return subscription
+
+        for _ in range(self.warmup_subscriptions):
+            yield ("subscribe", fresh())
+        kinds = ("subscribe", "unsubscribe", "publish")
+        weights = (
+            self.subscribe_weight,
+            self.unsubscribe_weight,
+            self.publish_weight,
+        )
+        for _ in range(count):
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            if kind == "unsubscribe" and not live:
+                kind = "subscribe"
+            if kind == "subscribe":
+                yield ("subscribe", fresh())
+            elif kind == "unsubscribe":
+                victim = live.pop(rng.randrange(len(live)))
+                yield ("unsubscribe", victim)
+            else:
+                yield ("publish", self.base.event())
+
+    def apply(self, engine, ops: Iterator[ChurnOp]) -> list[set[int]]:
+        """Drive ``engine`` through an operation stream.
+
+        Returns the matched-id set of every publish, in stream order —
+        the comparable trace of the run.  The same ``ops`` sequence must
+        be materialized once and fed to every engine under comparison
+        (the stream carries live :class:`Subscription` objects).
+        """
+        trace: list[set[int]] = []
+        for kind, payload in ops:
+            if kind == "subscribe":
+                engine.register(payload)
+            elif kind == "unsubscribe":
+                engine.unregister(payload)
+            else:
+                trace.append(engine.match(payload))
+        return trace

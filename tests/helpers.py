@@ -10,6 +10,12 @@ narrows :func:`make_all_engines` to that engine (constructed through the
 engine registry) plus the brute-force oracle — the CI engine matrix runs
 the agreement and parity suites once per engine this way, proving
 spec-driven construction for every engine.
+
+Setting ``REPRO_SHARDS`` to an integer additionally wraps every engine
+under test (never the oracle) in a
+:class:`~repro.core.sharded.ShardedEngine` with that many shards and the
+serial executor — the CI sharded leg runs the same suites through the
+sharded runtime this way, deterministic by construction.
 """
 
 from __future__ import annotations
@@ -30,6 +36,20 @@ SELECTED_ENGINE = (
     if os.environ.get("REPRO_ENGINE")
     else None
 )
+
+#: Shard count for the CI sharded leg (serial executor), or None.
+SELECTED_SHARDS = (
+    int(os.environ["REPRO_SHARDS"])
+    if os.environ.get("REPRO_SHARDS")
+    else None
+)
+
+
+def _maybe_sharded(spec: EngineSpec) -> EngineSpec:
+    """Wrap a spec in the sharded runtime when REPRO_SHARDS is set."""
+    if SELECTED_SHARDS is None:
+        return spec
+    return spec.with_options(shards=SELECTED_SHARDS, executor="serial")
 
 
 def _spec_options(name, *, complement_operators=False):
@@ -58,32 +78,35 @@ def make_all_engines(*, shared=True, complement_operators=False):
     else:
         kwargs = {}
     if SELECTED_ENGINE is not None:
-        spec = EngineSpec(
-            SELECTED_ENGINE,
-            _spec_options(
-                SELECTED_ENGINE, complement_operators=complement_operators
-            ),
+        spec = _maybe_sharded(
+            EngineSpec(
+                SELECTED_ENGINE,
+                _spec_options(
+                    SELECTED_ENGINE, complement_operators=complement_operators
+                ),
+            )
         )
         engines = [] if SELECTED_ENGINE == "bruteforce" else [spec.build(**kwargs)]
         engines.append(build_engine("bruteforce", **kwargs))
         return engines
-    return [
-        build_engine("noncanonical", **kwargs),
-        build_engine("noncanonical", codec="varint", **kwargs),
-        build_engine("noncanonical", evaluation="encoded", **kwargs),
-        build_engine(
+    specs = [
+        EngineSpec("noncanonical"),
+        EngineSpec("noncanonical", {"codec": "varint"}),
+        EngineSpec("noncanonical", {"evaluation": "encoded"}),
+        EngineSpec(
             "counting",
-            support_unsubscription=True,
-            complement_operators=complement_operators,
-            **kwargs,
+            {
+                "support_unsubscription": True,
+                "complement_operators": complement_operators,
+            },
         ),
-        build_engine(
-            "counting-variant",
-            complement_operators=complement_operators,
-            **kwargs,
+        EngineSpec(
+            "counting-variant", {"complement_operators": complement_operators}
         ),
-        build_engine("bruteforce", **kwargs),
     ]
+    engines = [_maybe_sharded(spec).build(**kwargs) for spec in specs]
+    engines.append(build_engine("bruteforce", **kwargs))
+    return engines
 
 P1 = Predicate("a", Operator.GT, 10)
 P2 = Predicate("b", Operator.EQ, 1)

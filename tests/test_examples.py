@@ -38,6 +38,7 @@ def test_examples_directory_complete():
         "stock_ticker.py",
         "broker_network.py",
         "paper_experiment.py",
+        "sharded_throughput.py",
     } <= present
 
 
@@ -72,3 +73,12 @@ def test_paper_experiment():
     assert "10 predicates" in out
     assert "normalized slope" in out
     assert "counting exhausts the memory budget" in out
+
+
+def test_sharded_throughput():
+    out = run_example("sharded_throughput.py")
+    assert "600 subscribers registered" in out
+    assert "per-shard stats" in out
+    assert out.count("shard ") >= 4
+    assert "shard-scaling sweep" in out
+    assert "speedup is relative to the unsharded single-shard baseline" in out

@@ -1,0 +1,394 @@
+"""Sharded runtime: parity with unsharded engines across all executors.
+
+The contract under test: a :class:`~repro.core.sharded.ShardedEngine`
+over any inner engine spec returns **exactly** the match sets of the
+unsharded engine — on the agreement corpus, per event and per batch,
+under interleaved subscribe/unsubscribe churn, and for the serial,
+thread, and process executor strategies.  Plus the partitioner, spec
+round-trips, the introspection surface, and the broker/network
+reporting built on it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import (
+    Broker,
+    BrokerNetwork,
+    EngineSpec,
+    ShardedEngine,
+    SimulatedMachine,
+    UnsupportedSubscriptionError,
+    build_engine,
+    executor_names,
+    make_executor,
+    register_executor,
+    shard_index,
+    spec_of,
+)
+from repro.core.sharded import SerialExecutor
+from repro.indexes import IndexManager
+from repro.predicates import PredicateRegistry
+from repro.workloads import ChurnScenario, SkewedHotKeyScenario
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: Canonical engine name -> inner-spec options making it churn-capable.
+ENGINE_OPTIONS = {
+    "noncanonical": {},
+    "counting": {"support_unsubscription": True},
+    "counting-variant": {},
+    "matching-tree": {},
+    "bruteforce": {},
+    "paged": {},
+}
+
+ALL_ENGINES = tuple(ENGINE_OPTIONS)
+EXECUTORS = ("serial", "thread", "process")
+
+
+def inner_spec(engine_name: str) -> EngineSpec:
+    return EngineSpec(engine_name, ENGINE_OPTIONS[engine_name])
+
+
+def sharded(engine_name: str, *, shards: int = 4, executor: str = "serial",
+            **kwargs) -> ShardedEngine:
+    return ShardedEngine(
+        inner_spec(engine_name), shards=shards, executor=executor, **kwargs
+    )
+
+
+def needs_fork(executor: str):
+    return pytest.mark.skipif(
+        executor == "process" and not HAS_FORK,
+        reason="process executor needs the fork start method",
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """The agreement corpus: skewed hot-key subscriptions and events."""
+    scenario = SkewedHotKeyScenario(seed=11)
+    return scenario.subscriptions(48), scenario.events(96)
+
+
+# ----------------------------------------------------------------------
+# the partitioner
+# ----------------------------------------------------------------------
+def test_partitioner_is_stable_and_in_range():
+    for sid in (1, 2, 17, 1_000_003):
+        assert shard_index(sid, 4) == shard_index(sid, 4)
+        assert 0 <= shard_index(sid, 4) < 4
+        assert shard_index(sid, 1) == 0
+
+
+def test_partitioner_spreads_consecutive_ids():
+    counts = [0, 0, 0, 0]
+    for sid in range(1, 1001):
+        counts[shard_index(sid, 4)] += 1
+    # multiplicative hashing: no shard may starve or hog on dense ids
+    assert min(counts) > 150
+    assert max(counts) < 350
+
+
+def test_partitioner_rejects_nonpositive_shard_count():
+    with pytest.raises(ValueError):
+        shard_index(1, 0)
+
+
+# ----------------------------------------------------------------------
+# parity on the agreement corpus — all engines, all executors
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_sharded_parity_on_corpus(engine_name, executor, corpus):
+    if executor == "process" and not HAS_FORK:
+        pytest.skip("process executor needs the fork start method")
+    subscriptions, events = corpus
+    plain = inner_spec(engine_name).build()
+    for subscription in subscriptions:
+        plain.register(subscription)
+    expected_batch = plain.match_batch(events)
+    with sharded(engine_name, executor=executor) as engine:
+        for subscription in subscriptions:
+            engine.register(subscription)
+        assert engine.subscription_ids() == plain.subscription_ids()
+        assert engine.subscription_count == plain.subscription_count
+        assert sum(s.subscription_count for s in engine.shards) == len(
+            subscriptions
+        )
+        # byte-identical match sets, batch and per event
+        assert engine.match_batch(events) == expected_batch
+        for event in events[:16]:
+            assert engine.match(event) == plain.match(event)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_sharded_parity_under_churn(engine_name, executor, corpus):
+    """Interleaved subscribe/unsubscribe/publish, matched in batches.
+
+    Publishes are flushed through ``match_batch`` every few operations,
+    so the process executor's workers are live *during* the churn and
+    must stay current through forwarded register/unregister commands.
+    """
+    if executor == "process" and not HAS_FORK:
+        pytest.skip("process executor needs the fork start method")
+    ops = list(ChurnScenario(seed=29, warmup_subscriptions=12).ops(90))
+    plain = inner_spec(engine_name).build()
+    with sharded(engine_name, executor=executor) as engine:
+
+        def drive(target) -> list[list[set[int]]]:
+            trace, pending = [], []
+            for kind, payload in ops:
+                if kind == "subscribe":
+                    target.register(payload)
+                elif kind == "unsubscribe":
+                    target.unregister(payload)
+                else:
+                    pending.append(payload)
+                    if len(pending) == 8:
+                        trace.append(target.match_batch(pending))
+                        pending = []
+            if pending:
+                trace.append(target.match_batch(pending))
+            return trace
+
+        assert drive(engine) == drive(plain)
+        assert engine.subscription_ids() == plain.subscription_ids()
+
+
+def test_sharded_match_fulfilled_parity(corpus):
+    """Phase-2-only parity: shards share the parent's phase-1 state, so
+    fulfilled-id sets mean the same thing sharded or not."""
+    subscriptions, events = corpus
+    registry = PredicateRegistry()
+    indexes = IndexManager()
+    plain = build_engine("noncanonical", registry=registry, indexes=indexes)
+    engine = ShardedEngine(
+        "noncanonical", shards=4, registry=registry, indexes=indexes
+    )
+    for subscription in subscriptions:
+        plain.register(subscription)
+        engine.register(subscription)
+    fulfilled_sets = [indexes.match(event) for event in events[:24]]
+    for fulfilled in fulfilled_sets:
+        assert engine.match_fulfilled(fulfilled) == plain.match_fulfilled(
+            fulfilled
+        )
+    assert engine.match_fulfilled_batch(
+        fulfilled_sets
+    ) == plain.match_fulfilled_batch(fulfilled_sets)
+
+
+def test_shards_one_equals_unsharded(corpus):
+    subscriptions, events = corpus
+    plain = build_engine("noncanonical")
+    engine = ShardedEngine("noncanonical", shards=1)
+    for subscription in subscriptions:
+        plain.register(subscription)
+        engine.register(subscription)
+    assert engine.match_batch(events) == plain.match_batch(events)
+    assert engine.memory_bytes() == plain.memory_bytes()
+
+
+# ----------------------------------------------------------------------
+# registration semantics
+# ----------------------------------------------------------------------
+def test_duplicate_and_unknown_ids_raise(corpus):
+    subscriptions, _ = corpus
+    engine = ShardedEngine("noncanonical", shards=4)
+    engine.register(subscriptions[0])
+    with pytest.raises(ValueError):
+        engine.register(subscriptions[0])
+    from repro import UnknownSubscriptionError
+
+    with pytest.raises(UnknownSubscriptionError):
+        engine.unregister(10_000_000)
+
+
+def test_unsupported_subscription_leaves_no_trace():
+    """A shard rejecting a subscription must not corrupt the runtime."""
+    from repro import Subscription
+
+    engine = ShardedEngine(EngineSpec("counting"), shards=4)
+    bad = Subscription.from_text("not a > 1")  # negative literal
+    with pytest.raises(UnsupportedSubscriptionError):
+        engine.register(bad)
+    assert engine.subscription_count == 0
+    assert engine.subscription_ids() == frozenset()
+
+
+def test_shard_slices_partition_the_population(corpus):
+    subscriptions, _ = corpus
+    engine = ShardedEngine("noncanonical", shards=4)
+    for subscription in subscriptions:
+        engine.register(subscription)
+    slices = engine.shard_subscription_slices()
+    assert len(slices) == 4
+    ids = [s.subscription_id for shard_slice in slices for s in shard_slice]
+    assert len(ids) == len(set(ids)) == len(subscriptions)
+    for index, shard_slice in enumerate(slices):
+        for subscription in shard_slice:
+            assert engine.shard_of(subscription.subscription_id) == index
+
+
+# ----------------------------------------------------------------------
+# specs, registry round-trips, executor registry
+# ----------------------------------------------------------------------
+def test_spec_shorthand_and_roundtrip():
+    assert EngineSpec("noncanonical×4") == EngineSpec(
+        "noncanonical", {"shards": 4}
+    )
+    assert EngineSpec("non-canonical x 2").options["shards"] == 2
+    engine = build_engine("counting-variant×3", executor="thread")
+    assert isinstance(engine, ShardedEngine)
+    assert engine.shard_count == 3
+    assert engine.executor_name == "thread"
+    spec = spec_of(engine)
+    assert spec.name == "counting-variant"
+    assert spec.options["shards"] == 3
+    rebuilt = spec.build()
+    assert isinstance(rebuilt, ShardedEngine)
+    assert rebuilt.shard_count == 3
+    assert rebuilt.executor_name == "thread"
+
+
+def test_spec_validation_errors():
+    with pytest.raises(ValueError):
+        EngineSpec("noncanonical×4", {"shards": 2})  # contradictory
+    with pytest.raises(ValueError):
+        build_engine("noncanonical", executor="thread")  # executor w/o shards
+    with pytest.raises(ValueError):
+        ShardedEngine(EngineSpec("noncanonical", {"shards": 2}), shards=2)
+    with pytest.raises(ValueError):
+        ShardedEngine("noncanonical", shards=0)
+    with pytest.raises(ValueError):
+        ShardedEngine("noncanonical", shards=2, executor="warp-drive")
+
+
+def test_executor_registry():
+    assert set(executor_names()) >= {"serial", "thread", "process"}
+    instance = SerialExecutor()
+    assert make_executor(instance) is instance
+    with pytest.raises(ValueError):
+        register_executor("serial", SerialExecutor)
+
+
+def test_inner_options_flow_to_shards():
+    engine = build_engine("noncanonical", shards=2, codec="varint")
+    assert spec_of(engine.shards[0]).name == "noncanonical"
+    assert engine.spec.options == {"codec": "varint"}
+
+
+# ----------------------------------------------------------------------
+# stats and broker/network integration
+# ----------------------------------------------------------------------
+def test_stats_surface(corpus):
+    subscriptions, _ = corpus
+    engine = sharded("noncanonical")
+    for subscription in subscriptions:
+        engine.register(subscription)
+    stats = engine.stats()
+    assert stats["shards"] == 4
+    assert stats["executor"] == "serial"
+    assert stats["subscriptions"] == len(subscriptions)
+    per_shard = engine.shard_stats()
+    assert [entry["shard"] for entry in per_shard] == [0, 1, 2, 3]
+    assert sum(entry["subscriptions"] for entry in per_shard) == len(
+        subscriptions
+    )
+    assert sum(entry["memory_bytes"] for entry in per_shard) == stats[
+        "memory_bytes"
+    ]
+
+
+def test_broker_with_sharded_spec_and_aggregated_pressure():
+    machine = SimulatedMachine(total_memory_bytes=1 << 20, os_reserved_bytes=0)
+    broker = Broker("hub", engine="noncanonical×4", machine=machine)
+    scenario = SkewedHotKeyScenario(seed=3)
+    handles = [broker.subscribe(s) for s in scenario.subscriptions(24)]
+    assert broker.subscription_count == 24
+    per_shard = broker.shard_stats()
+    assert len(per_shard) == 4
+    aggregated = sum(entry["memory_bytes"] for entry in per_shard)
+    assert broker.memory_pressure() == aggregated / machine.available_bytes
+    assert broker.engine_stats()["shards"] == 4
+    # matching + handle lifecycle work through the sharded engine
+    notifications = broker.publish(scenario.events(16))
+    assert len(notifications) == 16
+    handles[0].unsubscribe()
+    assert broker.subscription_count == 23
+
+
+def test_unsharded_broker_shard_stats_is_uniform():
+    broker = Broker("solo", engine="counting")
+    assert [entry["engine"] for entry in broker.shard_stats()] == ["counting"]
+
+
+def test_network_with_sharded_brokers():
+    network = BrokerNetwork()
+    network.add_broker("edge", engine="noncanonical×2")
+    network.add_broker(
+        "hub",
+        engine="counting×2",
+        machine=SimulatedMachine(total_memory_bytes=1 << 20, os_reserved_bytes=0),
+    )
+    network.connect("edge", "hub")
+    scenario = SkewedHotKeyScenario(seed=7)
+    handles = [
+        network.subscribe("hub", subscription)
+        for subscription in scenario.subscriptions(12)
+    ]
+    events = scenario.events(32)
+    batched = network.publish("edge", events)
+    report = network.shard_report()
+    assert len(report["edge"]) == 2 and len(report["hub"]) == 2
+    pressure = network.memory_pressure()
+    assert pressure["edge"] == 0.0  # no machine model attached
+    assert pressure["hub"] > 0.0
+    # deliveries equal a single sharded broker's answers
+    solo = Broker("oracle", engine="noncanonical×2")
+    sinks = {}
+    from repro import Subscription
+
+    for handle in handles:
+        solo.subscribe(
+            Subscription(
+                expression=handle.subscription.expression,
+                subscriber=handle.subscriber,
+                subscription_id=handle.id,
+            )
+        )
+    for event, deliveries in zip(events, batched):
+        assert {n.subscription_id for n in deliveries} == solo.engine.match(
+            event
+        )
+
+
+# ----------------------------------------------------------------------
+# process executor specifics
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+def test_process_executor_lazy_start_and_close(corpus):
+    subscriptions, events = corpus
+    engine = sharded("noncanonical", executor="process")
+    executor = engine._executor
+    for subscription in subscriptions[:16]:
+        engine.register(subscription)
+    assert not executor._started  # registration alone must not fork
+    first = engine.match_batch(events[:8])
+    assert executor._started
+    assert len(executor._processes) == 4
+    # phase-2-only calls run in-process and still agree
+    fulfilled = engine.indexes.match(events[0])
+    assert engine.match_fulfilled(fulfilled) == first[0]
+    engine.close()
+    assert not executor._started
+    assert executor._processes == []
+    # a fresh batch after close restarts the workers from current state
+    assert engine.match_batch(events[:8]) == first
+    engine.close()
