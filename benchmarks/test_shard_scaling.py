@@ -1,18 +1,21 @@
 """Shard-scaling curves: throughput versus shard count per engine.
 
-``run_shard_sweep`` measures each engine unsharded (the single-shard
-serial baseline) and partitioned across 2 and 4 shards, recording
-speedup-vs-shard-count curves.  Three properties are asserted:
+The measurements come from the :mod:`repro.bench` runner's shard phase
+(which wraps ``run_shard_sweep``) and from the harness directly for the
+executor-specific checks; every pass/fail number lives in
+:mod:`repro.bench.thresholds`.  Three properties are asserted:
 
-* the sweep produces well-formed curves (parity is verified inside the
+* the runner produces well-formed curves (parity is verified inside the
   harness before anything is timed);
 * the **serial** executor's coordination overhead is bounded — sharding
-  without parallelism must not collapse throughput;
+  without parallelism must not collapse throughput
+  (:data:`~repro.bench.thresholds.SERIAL_4SHARD_MIN_RATIO`);
 * the **process** executor turns shards into real speedup: at
-  quick-benchmark scale, 4 shards reach ≥1.3× the single-shard serial
-  baseline on at least one engine.  On single-core runners (or without
-  the ``fork`` start method) that test *skips* — there is no parallel
-  hardware to demonstrate on.
+  quick-benchmark scale, 4 shards reach
+  :data:`~repro.bench.thresholds.PROCESS_4SHARD_MIN_SPEEDUP` × the
+  single-shard serial baseline on at least one engine.  On single-core
+  runners (or without the ``fork`` start method) that test *skips* —
+  there is no parallel hardware to demonstrate on.
 
 Numbers land in ``benchmark.extra_info`` so future PRs have a scaling
 trajectory to compare against.
@@ -25,6 +28,11 @@ import os
 
 import pytest
 
+from repro.bench import QUICK, scaled_down, shard_records
+from repro.bench.thresholds import (
+    PROCESS_4SHARD_MIN_SPEEDUP,
+    SERIAL_4SHARD_MIN_RATIO,
+)
 from repro.experiments.harness import run_shard_sweep
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
@@ -36,29 +44,28 @@ CPUS = os.cpu_count() or 1
 ENGINES = ("noncanonical", "bruteforce")
 
 
-def test_shard_sweep_produces_curves():
-    """Quick-scale sweep: every engine gets a 1/2/4-shard curve with a
-    speedup relative to its own unsharded baseline."""
-    results = run_shard_sweep(
-        subscription_count=120,
-        event_count=128,
-        shard_counts=(1, 2, 4),
-        engines=ENGINES,
-        repeats=1,
-    )
-    assert set(results) == set(ENGINES)
-    for name, curve in results.items():
-        assert [point.shards for point in curve] == [1, 2, 4]
+def test_runner_shard_phase_produces_curves():
+    """Quick-scale runner phase: every engine gets a 1/2/4-shard curve
+    with a speedup relative to its own unsharded baseline."""
+    records = shard_records(scaled_down(QUICK, 2), engines=ENGINES)
+    by_engine = {}
+    for record in records:
+        assert record.scenario == "shard-scaling"
+        by_engine.setdefault(record.engine, []).append(record)
+    assert set(by_engine) == set(ENGINES)
+    for engine, curve in by_engine.items():
+        assert [record.shards for record in curve] == list(QUICK.shard_counts)
         assert curve[0].executor == "serial"
-        assert curve[0].speedup == 1.0
-        assert all(point.events_per_second > 0 for point in curve)
-        assert all(point.engine == name for point in curve)
+        assert curve[0].metrics["speedup"] == 1.0
+        assert all(record.events_per_second > 0 for record in curve)
+        assert all(record.engine == engine for record in curve)
+        assert all("speedup" in record.metrics for record in curve)
 
 
 def test_serial_sharding_overhead_is_bounded(benchmark):
     """Partitioning without parallelism costs union/dispatch overhead
-    only — the 4-shard serial configuration must keep at least half the
-    unsharded throughput."""
+    only — the 4-shard serial configuration must keep at least
+    ``SERIAL_4SHARD_MIN_RATIO`` of the unsharded throughput."""
     results = run_shard_sweep(
         subscription_count=300,
         event_count=256,
@@ -84,7 +91,7 @@ def test_serial_sharding_overhead_is_bounded(benchmark):
         )
 
     benchmark(run)
-    assert four.speedup > 0.5, (
+    assert four.speedup > SERIAL_4SHARD_MIN_RATIO, (
         f"serial 4-shard throughput collapsed to {four.speedup:.2f}x of "
         "the unsharded baseline"
     )
@@ -96,7 +103,8 @@ def test_serial_sharding_overhead_is_bounded(benchmark):
 )
 def test_process_executor_reaches_speedup(benchmark):
     """The acceptance check: with the process executor, 4 shards reach
-    ≥1.3× the single-shard serial throughput on at least one engine."""
+    ``PROCESS_4SHARD_MIN_SPEEDUP`` × the single-shard serial throughput
+    on at least one engine."""
     results = run_shard_sweep(
         subscription_count=600,
         event_count=256,
@@ -127,7 +135,7 @@ def test_process_executor_reaches_speedup(benchmark):
         )
 
     benchmark(run)
-    assert speedups[best_engine] >= 1.3, (
+    assert speedups[best_engine] >= PROCESS_4SHARD_MIN_SPEEDUP, (
         f"process executor at 4 shards only reached "
         f"{speedups[best_engine]:.2f}x on {best_engine} "
         f"(all: {speedups}, {CPUS} cpus)"

@@ -54,6 +54,7 @@ from .core import (
     DiskTreeStore,
     EngineSpec,
     FilterEngine,
+    MatchCounters,
     MatchingTreeEngine,
     NonCanonicalEngine,
     PagedNonCanonicalEngine,
@@ -139,6 +140,7 @@ __all__ = [
     "CountingVariantEngine",
     "DiskTreeStore",
     "FilterEngine",
+    "MatchCounters",
     "MatchingTreeEngine",
     "NonCanonicalEngine",
     "PagedNonCanonicalEngine",

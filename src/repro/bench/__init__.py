@@ -1,0 +1,82 @@
+"""Benchmark observability: records, runner, baseline comparison.
+
+The paper's contribution is a performance claim; this package keeps the
+repository honest about it over time:
+
+* :mod:`repro.bench.records` — :class:`BenchRecord`/:class:`BenchReport`
+  structured results with environment metadata and a JSON round-trip;
+* :mod:`repro.bench.runner` — ``python -m repro.bench`` executes a
+  curated scenario × engine matrix by *reusing* the experiment harness;
+* :mod:`repro.bench.compare` — ``python -m repro.bench.compare`` diffs
+  a fresh report against the committed ``BENCH_<n>.json`` baseline and
+  exits nonzero on regression (the CI gate);
+* :mod:`repro.bench.thresholds` — every pass/fail number, in one place.
+
+See DESIGN.md §7 for the record schema, the noise-floor policy, and how
+to refresh the baseline.
+"""
+
+from .records import (
+    SCHEMA_VERSION,
+    SCENARIOS,
+    BenchRecord,
+    BenchReport,
+    SchemaError,
+    environment_metadata,
+)
+from .runner import (
+    FULL,
+    QUICK,
+    SCALES,
+    BenchScale,
+    churn_records,
+    resolve_scale,
+    run_bench,
+    scaled_down,
+    shard_records,
+    skew_records,
+    throughput_records,
+)
+
+#: Comparator names re-exported lazily: eagerly importing ``.compare``
+#: here would pre-load it into ``sys.modules`` and make ``python -m
+#: repro.bench.compare`` emit runpy's double-import RuntimeWarning in
+#: every CI log.
+_COMPARE_EXPORTS = (
+    "CompareResult",
+    "Regression",
+    "compare_reports",
+    "environment_mismatch",
+)
+
+
+def __getattr__(name: str):
+    if name in _COMPARE_EXPORTS:
+        from . import compare
+
+        return getattr(compare, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIOS",
+    "BenchRecord",
+    "BenchReport",
+    "SchemaError",
+    "environment_metadata",
+    "BenchScale",
+    "QUICK",
+    "FULL",
+    "SCALES",
+    "resolve_scale",
+    "run_bench",
+    "scaled_down",
+    "throughput_records",
+    "shard_records",
+    "skew_records",
+    "churn_records",
+    "CompareResult",
+    "Regression",
+    "compare_reports",
+    "environment_mismatch",
+]

@@ -1,0 +1,165 @@
+"""Command line of the benchmark runner (``python -m repro.bench``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Sequence
+
+from ..core.registry import engine_names
+from ..experiments.report import format_table
+from .compare import compare_reports, gate_verdict
+from .records import BenchReport
+from .runner import run_bench, scaled_down
+from .thresholds import QUICK_TIME_TOLERANCE
+
+
+def render_report(report: BenchReport) -> str:
+    """The report as a human-readable table (the JSON stays canonical)."""
+    rows = []
+    for record in report.records:
+        metrics = record.metrics
+        rows.append(
+            (
+                record.scenario,
+                record.label().split(":", 1)[1],
+                record.batch_size,
+                f"{record.events_per_second:,.0f}",
+                f"{metrics.get('candidates_probed_per_event', 0.0):.1f}",
+                f"{metrics.get('matches_per_event', 0.0):.2f}",
+                f"{record.memory_bytes:,}",
+            )
+        )
+    table = format_table(
+        ("scenario", "engine", "batch", "ev/s", "probes/ev", "match/ev", "bytes"),
+        rows,
+    )
+    environment = ", ".join(
+        f"{key}={value}" for key, value in report.environment.items()
+    )
+    return f"{table}\nscale={report.scale} | {environment}"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Run the curated benchmark matrix and emit a machine-readable "
+            "report (see DESIGN.md §7)."
+        ),
+    )
+    scale_group = parser.add_mutually_exclusive_group()
+    scale_group.add_argument(
+        "--quick",
+        dest="scale",
+        action="store_const",
+        const="quick",
+        help="CI-gate sizing (~a minute on a shared runner); the default",
+    )
+    scale_group.add_argument(
+        "--full",
+        dest="scale",
+        action="store_const",
+        const="full",
+        help="workstation sizing: larger populations, more repeats",
+    )
+    parser.set_defaults(scale="quick")
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the JSON report here (defaults to stdout table only)",
+    )
+    parser.add_argument(
+        "--engines",
+        nargs="+",
+        metavar="NAME",
+        help=(
+            "restrict the throughput phase to these registry engines "
+            f"(default: all of {', '.join(engine_names())})"
+        ),
+    )
+    parser.add_argument(
+        "--shrink",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "divide every population by N (smoke-testing the runner "
+            "itself; trajectory reports should use 1)"
+        ),
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        metavar="N",
+        help="override the scale's repeat count",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload seed (default 0, the committed-baseline seed)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "after the run, diff against this committed report and exit "
+            "nonzero on regression (same gate as repro.bench.compare)"
+        ),
+    )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=QUICK_TIME_TOLERANCE,
+        help=(
+            "noise floor for the --baseline gate (default "
+            f"{QUICK_TIME_TOLERANCE}; shrunken smoke runs need a looser "
+            "one, their timings sit at the timer's resolution)"
+        ),
+    )
+    parser.add_argument(
+        "--strict-hardware",
+        action="store_true",
+        help=(
+            "fail the --baseline gate on timing regressions even when "
+            "the baseline comes from different hardware"
+        ),
+    )
+    args = parser.parse_args(argv)
+    scale = scaled_down(args.scale, args.shrink)
+    if args.repeats is not None:
+        if args.repeats < 1:
+            parser.error("--repeats must be at least 1")
+        scale = replace(scale, repeats=args.repeats)
+    started = time.perf_counter()
+    report = run_bench(scale, engines=args.engines, seed=args.seed)
+    elapsed = time.perf_counter() - started
+    print(render_report(report))
+    print(
+        f"{len(report.records)} records over {len(report.scenarios())} "
+        f"scenarios and {len(report.engines())} engines in {elapsed:.1f}s"
+    )
+    if args.out:
+        report.save(args.out)
+        print(f"report written to {args.out}")
+    if args.baseline:
+        baseline = BenchReport.load(args.baseline)
+        result = compare_reports(
+            baseline, report, time_tolerance=args.time_tolerance
+        )
+        print(f"baseline {args.baseline}: {result.summary()}")
+        for point in result.regressions:
+            print(f"  REGRESSION: {point.describe()}")
+        code, verdict = gate_verdict(
+            result, strict_hardware=args.strict_hardware
+        )
+        print(verdict)
+        return code
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

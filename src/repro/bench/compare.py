@@ -1,0 +1,286 @@
+"""Baseline comparison: diff a fresh report against the committed one.
+
+``python -m repro.bench.compare BENCH_4.json fresh.json`` joins the two
+reports on record identity, applies per-metric noise floors
+(:mod:`repro.bench.thresholds`), and exits nonzero when any point
+regressed — the CI gate behind "every future PR proves it didn't slow
+the hot path".
+
+Policy
+------
+* **throughput** (``events_per_second``): a fresh point may drop at
+  most ``time_tolerance`` below baseline (default
+  :data:`~repro.bench.thresholds.QUICK_TIME_TOLERANCE`).  Points below
+  the timer's resolution floor are skipped, not gated.
+* **memory** (``memory_bytes``): deterministic under the paper's cost
+  model, so growth beyond
+  :data:`~repro.bench.thresholds.MEMORY_TOLERANCE` fails.
+* **coverage**: a baseline point missing from the fresh report is a
+  failure (a silently dropped benchmark is how regressions hide);
+  fresh points absent from the baseline are reported as additions and
+  pass — that is how the matrix grows.
+* **hardware mismatch**: when the two reports disagree on architecture,
+  OS, or Python implementation (:data:`HARDWARE_KEYS`), timings are not
+  comparable — regressions soften to warnings and the exit code stays
+  zero unless ``--strict-hardware`` is given.  ``cpu_count`` and the
+  interpreter version are embedded for forensics but do *not* soften
+  the gate (the matrix is serial; the noise floor absorbs interpreter
+  drift).  Memory comparisons stay hard either way, since the cost
+  model does not depend on the machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .records import BenchRecord, BenchReport
+from .thresholds import (
+    MEMORY_TOLERANCE,
+    MIN_GATED_EVENTS_PER_SECOND,
+    QUICK_TIME_TOLERANCE,
+)
+
+#: Environment keys whose disagreement makes *timings* incomparable and
+#: softens the gate.  Deliberately narrow: the quick matrix is entirely
+#: serial, so ``cpu_count`` does not shift its timings, and interpreter
+#: minor-version drift (``python``) sits well inside the 25% noise
+#: floor — both are embedded in reports for forensics but must not
+#: quietly disarm the CI gate (a baseline generated on a 1-core
+#: container would otherwise never gate a 4-core runner).
+HARDWARE_KEYS = ("machine", "system", "implementation")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One point that moved past its noise floor."""
+
+    record: BenchRecord          # the fresh record
+    metric: str                  # "events_per_second" | "memory_bytes"
+    baseline_value: float
+    fresh_value: float
+    limit: float                 # the value the tolerance allowed
+
+    @property
+    def ratio(self) -> float:
+        """fresh / baseline (below 1.0 = slower for throughput)."""
+        if self.baseline_value == 0:
+            return float("inf")
+        return self.fresh_value / self.baseline_value
+
+    def describe(self) -> str:
+        if self.metric == "events_per_second":
+            return (
+                f"{self.record.label()}: {self.fresh_value:,.0f} ev/s vs "
+                f"baseline {self.baseline_value:,.0f} "
+                f"({self.ratio:.2f}x, floor {self.limit:,.0f})"
+            )
+        return (
+            f"{self.record.label()}: {self.fresh_value:,.0f} B vs "
+            f"baseline {self.baseline_value:,.0f} "
+            f"({self.ratio:.2f}x, cap {self.limit:,.0f})"
+        )
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one baseline-versus-fresh comparison."""
+
+    regressions: list[Regression] = field(default_factory=list)
+    improvements: list[Regression] = field(default_factory=list)
+    missing: list[BenchRecord] = field(default_factory=list)   # baseline-only
+    additions: list[BenchRecord] = field(default_factory=list)  # fresh-only
+    skipped: list[BenchRecord] = field(default_factory=list)    # below floor
+    compared: int = 0
+    hardware_mismatch: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no regressions and full baseline coverage."""
+        return not self.regressions and not self.missing
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.compared} points compared",
+            f"{len(self.regressions)} regressed",
+            f"{len(self.improvements)} improved >10%",
+        ]
+        if self.missing:
+            parts.append(f"{len(self.missing)} missing from fresh report")
+        if self.additions:
+            parts.append(f"{len(self.additions)} new")
+        if self.skipped:
+            parts.append(f"{len(self.skipped)} below timer floor (skipped)")
+        return ", ".join(parts)
+
+
+def environment_mismatch(
+    baseline: dict, fresh: dict, *, keys: Sequence[str] = HARDWARE_KEYS
+) -> list[str]:
+    """Hardware/runtime keys on which the two reports disagree."""
+    return [key for key in keys if baseline.get(key) != fresh.get(key)]
+
+
+def compare_reports(
+    baseline: BenchReport,
+    fresh: BenchReport,
+    *,
+    time_tolerance: float = QUICK_TIME_TOLERANCE,
+    memory_tolerance: float = MEMORY_TOLERANCE,
+    min_events_per_second: float = MIN_GATED_EVENTS_PER_SECOND,
+) -> CompareResult:
+    """Join on record identity, apply the noise floors, collect verdicts.
+
+    Purely functional — hardware-mismatch softening is the *caller's*
+    policy (see :func:`main`); this function always reports what moved.
+    """
+    if not 0 <= time_tolerance < 1:
+        raise ValueError("time_tolerance must be in [0, 1)")
+    if memory_tolerance < 0:
+        raise ValueError("memory_tolerance must be non-negative")
+    result = CompareResult(
+        hardware_mismatch=environment_mismatch(
+            baseline.environment, fresh.environment
+        )
+    )
+    fresh_map = fresh.record_map()
+    baseline_map = baseline.record_map()
+    for key, base in baseline_map.items():
+        new = fresh_map.get(key)
+        if new is None:
+            result.missing.append(base)
+            continue
+        result.compared += 1
+        if (
+            base.events_per_second < min_events_per_second
+            or new.events_per_second < min_events_per_second
+        ):
+            result.skipped.append(new)
+        else:
+            floor = base.events_per_second * (1.0 - time_tolerance)
+            point = Regression(
+                record=new,
+                metric="events_per_second",
+                baseline_value=base.events_per_second,
+                fresh_value=new.events_per_second,
+                limit=floor,
+            )
+            if new.events_per_second < floor:
+                result.regressions.append(point)
+            elif new.events_per_second > base.events_per_second * 1.10:
+                result.improvements.append(point)
+        cap = base.memory_bytes * (1.0 + memory_tolerance)
+        if base.memory_bytes and new.memory_bytes > cap:
+            result.regressions.append(
+                Regression(
+                    record=new,
+                    metric="memory_bytes",
+                    baseline_value=float(base.memory_bytes),
+                    fresh_value=float(new.memory_bytes),
+                    limit=cap,
+                )
+            )
+    for key, new in fresh_map.items():
+        if key not in baseline_map:
+            result.additions.append(new)
+    return result
+
+
+def gate_verdict(
+    result: CompareResult, *, strict_hardware: bool = False
+) -> tuple[int, str]:
+    """(exit code, verdict line) for a comparison — THE gate policy.
+
+    Shared by ``python -m repro.bench.compare`` and the runner's
+    ``--baseline`` option so both surfaces pass and fail identically.
+    Hardware mismatch only excuses *timing* regressions; missing
+    coverage and memory-model growth are machine-independent.
+    """
+    if result.ok:
+        return 0, "gate: PASS"
+    timing_only = not result.missing and all(
+        point.metric == "events_per_second" for point in result.regressions
+    )
+    if timing_only and result.hardware_mismatch and not strict_hardware:
+        return 0, (
+            "gate: WARN — reports come from different hardware "
+            f"(differs on: {', '.join(result.hardware_mismatch)}); "
+            "timings are not comparable, treating regressions as warnings. "
+            "Pass --strict-hardware to fail instead."
+        )
+    return 1, "gate: FAIL"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.bench.compare BASELINE FRESH`` — the CI gate."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description=(
+            "Diff a fresh benchmark report against a committed baseline; "
+            "exit 1 on regression."
+        ),
+    )
+    parser.add_argument("baseline", help="committed baseline (BENCH_<n>.json)")
+    parser.add_argument("fresh", help="freshly generated report to gate")
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=QUICK_TIME_TOLERANCE,
+        help=(
+            "allowed fractional events/sec drop before failing "
+            f"(default {QUICK_TIME_TOLERANCE}, the quick-scale noise floor)"
+        ),
+    )
+    parser.add_argument(
+        "--memory-tolerance",
+        type=float,
+        default=MEMORY_TOLERANCE,
+        help=(
+            "allowed fractional memory-model growth before failing "
+            f"(default {MEMORY_TOLERANCE})"
+        ),
+    )
+    parser.add_argument(
+        "--strict-hardware",
+        action="store_true",
+        help=(
+            "fail on regressions even when the reports were produced on "
+            "different hardware (default: soften to a warning)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = BenchReport.load(args.baseline)
+        fresh = BenchReport.load(args.fresh)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = compare_reports(
+        baseline,
+        fresh,
+        time_tolerance=args.time_tolerance,
+        memory_tolerance=args.memory_tolerance,
+    )
+    print(f"baseline: {args.baseline} (scale={baseline.scale})")
+    print(f"fresh:    {args.fresh} (scale={fresh.scale})")
+    print(result.summary())
+    for point in result.improvements:
+        print(f"  improved: {point.describe()}")
+    for record in result.additions:
+        print(f"  new point: {record.label()}")
+    for record in result.missing:
+        print(f"  MISSING: {record.label()} (in baseline, not in fresh)")
+    for point in result.regressions:
+        print(f"  REGRESSION: {point.describe()}")
+    code, verdict = gate_verdict(result, strict_hardware=args.strict_hardware)
+    print(verdict)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""Structured benchmark results: records, reports, JSON round-trip.
+
+The paper's contribution is a *performance* claim, so the repository
+keeps a machine-readable performance trajectory: every benchmark run
+produces a :class:`BenchReport` — a list of :class:`BenchRecord` points
+plus environment metadata — that serializes to JSON, diffs against a
+committed baseline (``BENCH_<n>.json``, see :mod:`repro.bench.compare`),
+and gates CI on regressions.
+
+Schema
+------
+A report is a JSON object::
+
+    {
+      "schema_version": 1,
+      "scale": "quick" | "full",
+      "environment": {"python": ..., "platform": ..., "cpu_count": ...},
+      "records": [
+        {
+          "scenario":  "throughput" | "shard-scaling" | "skew" | "churn",
+          "engine":    "<canonical registry name>",
+          "shards":    1,
+          "executor":  "serial",
+          "batch_size": 256,
+          "events":    512,
+          "seconds":   0.0123,
+          "events_per_second": 41626.0,
+          "memory_bytes": 123456,
+          "metrics":   {"candidates_probed_per_event": 13.2, ...}
+        }, ...
+      ]
+    }
+
+A record's identity — what the comparator joins baseline and fresh
+reports on — is ``(scenario, engine, shards, executor, batch_size)``.
+``metrics`` carries everything that *explains* the headline number
+(per-event candidate probes, matches, shard speedups, churn mix) so a
+regression report can say whether candidate counts moved or raw speed
+did.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+#: Bump when a field is added/renamed incompatibly; the comparator
+#: refuses to diff reports with mismatched schema versions.
+SCHEMA_VERSION = 1
+
+#: The scenario names a runner-produced report may contain.
+SCENARIOS = ("throughput", "shard-scaling", "skew", "churn")
+
+#: Identity of one record inside a report.
+RecordKey = tuple[str, str, int, str, int]
+
+
+class SchemaError(ValueError):
+    """A report (or record) does not conform to the bench schema."""
+
+
+def environment_metadata() -> dict[str, Any]:
+    """The hardware/runtime fingerprint embedded in every report.
+
+    The comparator uses it to detect that a fresh report was produced on
+    different hardware than the baseline — timings are then not
+    comparable and regressions soften to warnings (see
+    :func:`repro.bench.compare.environment_mismatch`).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark point: a scenario × engine configuration measurement.
+
+    Parameters
+    ----------
+    scenario:
+        Workload family (one of :data:`SCENARIOS` for runner output;
+        free-form for ad-hoc reports).
+    engine:
+        Canonical registry name of the (inner) engine.
+    shards / executor:
+        The sharded-runtime configuration; ``shards=1`` with
+        ``executor="serial"`` is the unsharded point.
+    batch_size:
+        Events per :meth:`~repro.core.base.FilterEngine.match_batch`
+        call (1 = the per-event path).
+    events:
+        Events (churn: operations) measured per repeat.
+    seconds:
+        Best-of-repeats wall time for those events.
+    events_per_second:
+        The headline throughput — what the comparator gates on.
+    memory_bytes:
+        Engine working set under the paper's memory cost model.
+    metrics:
+        Explanatory side-channel: per-event counter averages
+        (``candidates_probed_per_event``, ``matches_per_event``),
+        shard ``speedup``, churn mix, ... — floats only.
+    """
+
+    scenario: str
+    engine: str
+    shards: int
+    executor: str
+    batch_size: int
+    events: int
+    seconds: float
+    events_per_second: float
+    memory_bytes: int
+    metrics: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise SchemaError("record scenario must be non-empty")
+        if not self.engine:
+            raise SchemaError("record engine must be non-empty")
+        if self.shards < 1:
+            raise SchemaError("record shards must be at least 1")
+        if self.batch_size < 1:
+            raise SchemaError("record batch_size must be at least 1")
+        if self.events < 1:
+            raise SchemaError("record events must be at least 1")
+        if self.seconds < 0 or not math.isfinite(self.seconds):
+            raise SchemaError("record seconds must be finite and non-negative")
+        if self.events_per_second <= 0 or not math.isfinite(
+            self.events_per_second
+        ):
+            raise SchemaError(
+                "record events_per_second must be finite and positive "
+                "(clamp timer-resolution measurements before recording)"
+            )
+        if self.memory_bytes < 0:
+            raise SchemaError("record memory_bytes must be non-negative")
+        metrics = dict(self.metrics)
+        for name, value in metrics.items():
+            if not math.isfinite(value):
+                raise SchemaError(f"record metric {name!r} must be finite")
+        object.__setattr__(self, "metrics", metrics)
+
+    @property
+    def key(self) -> RecordKey:
+        """The identity the comparator joins on."""
+        return (
+            self.scenario,
+            self.engine,
+            self.shards,
+            self.executor,
+            self.batch_size,
+        )
+
+    def label(self) -> str:
+        """Human-readable point name for tables and regression output."""
+        engine = self.engine
+        if self.shards > 1:
+            engine = f"{engine}×{self.shards}/{self.executor}"
+        return f"{self.scenario}:{engine}@b{self.batch_size}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "shards": self.shards,
+            "executor": self.executor,
+            "batch_size": self.batch_size,
+            "events": self.events,
+            "seconds": self.seconds,
+            "events_per_second": self.events_per_second,
+            "memory_bytes": self.memory_bytes,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchRecord":
+        if not isinstance(data, Mapping):
+            raise SchemaError(f"record must be an object, got {data!r}")
+        try:
+            return cls(
+                scenario=str(data["scenario"]),
+                engine=str(data["engine"]),
+                shards=int(data["shards"]),
+                executor=str(data["executor"]),
+                batch_size=int(data["batch_size"]),
+                events=int(data["events"]),
+                seconds=float(data["seconds"]),
+                events_per_second=float(data["events_per_second"]),
+                memory_bytes=int(data["memory_bytes"]),
+                metrics={
+                    str(k): float(v)
+                    for k, v in dict(data.get("metrics", {})).items()
+                },
+            )
+        except KeyError as missing:
+            raise SchemaError(f"record is missing field {missing}") from None
+        except (TypeError, ValueError) as error:
+            if isinstance(error, SchemaError):
+                raise
+            raise SchemaError(f"malformed record {data!r}: {error}") from None
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark run: environment metadata plus its records."""
+
+    scale: str
+    environment: dict[str, Any] = field(default_factory=environment_metadata)
+    records: list[BenchRecord] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.scale:
+            raise SchemaError("report scale must be non-empty")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def record_map(self) -> dict[RecordKey, BenchRecord]:
+        """Records keyed by identity; duplicate keys are a schema error."""
+        mapping: dict[RecordKey, BenchRecord] = {}
+        for record in self.records:
+            if record.key in mapping:
+                raise SchemaError(f"duplicate record key {record.key}")
+            mapping[record.key] = record
+        return mapping
+
+    def engines(self) -> set[str]:
+        """Engine names covered by at least one record."""
+        return {record.engine for record in self.records}
+
+    def scenarios(self) -> set[str]:
+        """Scenario names covered by at least one record."""
+        return {record.scenario for record in self.records}
+
+    def validate(self) -> "BenchReport":
+        """Check structural invariants; returns self for chaining."""
+        if self.schema_version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"schema version {self.schema_version} != {SCHEMA_VERSION}"
+            )
+        if not isinstance(self.environment, Mapping):
+            raise SchemaError("environment must be a mapping")
+        self.record_map()  # raises on duplicates
+        return self
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "scale": self.scale,
+            "environment": dict(self.environment),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchReport":
+        if not isinstance(data, Mapping):
+            raise SchemaError(f"report must be an object, got {data!r}")
+        try:
+            version = int(data["schema_version"])
+        except KeyError:
+            raise SchemaError("report is missing 'schema_version'") from None
+        if version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported schema version {version} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        records_field = data.get("records", [])
+        if not isinstance(records_field, Iterable) or isinstance(
+            records_field, (str, bytes, Mapping)
+        ):
+            raise SchemaError("report 'records' must be an array")
+        report = cls(
+            scale=str(data.get("scale", "")),
+            environment=dict(data.get("environment", {})),
+            records=[BenchRecord.from_dict(r) for r in records_field],
+            schema_version=version,
+        )
+        return report.validate()
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        # allow_nan=False: "Infinity"/"NaN" are not JSON; a report that
+        # can't round-trip through jq/JSON.parse is not machine-readable
+        return json.dumps(
+            self.to_dict(), indent=indent, sort_keys=False, allow_nan=False
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchReport":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SchemaError(f"report is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        """Write the report as pretty-printed JSON (trailing newline)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "BenchReport":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

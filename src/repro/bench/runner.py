@@ -1,0 +1,432 @@
+"""The benchmark runner: one curated matrix, machine-readable output.
+
+``python -m repro.bench --quick`` executes the matrix and emits a
+:class:`~repro.bench.records.BenchReport`:
+
+* **throughput** — the batched full-pipeline sweep
+  (:func:`~repro.experiments.harness.run_throughput_sweep`) over every
+  registry engine at batch sizes 1/32/256;
+* **shard-scaling** — speedup-versus-shard-count curves
+  (:func:`~repro.experiments.harness.run_shard_sweep`, serial executor
+  so CI numbers are deterministic);
+* **skew** — the :class:`~repro.workloads.scenarios.SkewedHotKeyScenario`
+  hot-key workload, where candidate sets concentrate;
+* **churn** — the :class:`~repro.workloads.scenarios.ChurnScenario`
+  subscribe/unsubscribe stream, timing registration, withdrawal and
+  matching together.
+
+Everything reuses the experiment harness — the runner adds *recording*
+(counters, memory, environment), never a second measurement protocol.
+Scales are data (:class:`BenchScale`); ``--quick`` is sized for a CI
+gate, ``--full`` for a workstation trajectory point.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from ..core.registry import EngineSpec, build_engine, engine_names
+from ..experiments.harness import (
+    ShardScalingPoint,
+    ThroughputPoint,
+    measure_throughput,
+    run_shard_sweep,
+    run_throughput_sweep,
+)
+from ..indexes.manager import IndexManager
+from ..predicates.registry import PredicateRegistry
+from ..workloads.scenarios import ChurnScenario, SkewedHotKeyScenario
+from .records import BenchRecord, BenchReport
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One named point in the size/precision trade-off, as plain data."""
+
+    name: str
+    #: throughput sweep
+    subscriptions: int
+    events: int
+    batch_sizes: tuple[int, ...]
+    repeats: int
+    #: event value domain; small = heavy value repetition across a
+    #: batch, the regime the phase-1 batch memoization targets
+    value_range: int
+    #: shard-scaling sweep
+    shard_counts: tuple[int, ...]
+    shard_engines: tuple[str, ...]
+    #: skew workload
+    skew_subscriptions: int
+    skew_events: int
+    skew_engines: tuple[str, ...]
+    #: churn workload
+    churn_ops: int
+    churn_engines: tuple[str, ...]
+
+
+#: CI-gate sizing: every engine and every scenario is covered, total
+#: wall time stays well under a minute on a shared runner.
+QUICK = BenchScale(
+    name="quick",
+    subscriptions=300,
+    events=256,
+    batch_sizes=(1, 32, 256),
+    repeats=3,
+    value_range=16,
+    shard_counts=(1, 2, 4),
+    shard_engines=("noncanonical",),
+    skew_subscriptions=200,
+    skew_events=256,
+    skew_engines=("noncanonical", "counting"),
+    churn_ops=400,
+    churn_engines=("noncanonical", "noncanonical×4"),
+)
+
+#: Workstation sizing: larger populations, more repeats, tighter noise.
+FULL = BenchScale(
+    name="full",
+    subscriptions=1000,
+    events=512,
+    batch_sizes=(1, 32, 256),
+    repeats=5,
+    value_range=16,
+    shard_counts=(1, 2, 4, 8),
+    shard_engines=("noncanonical", "counting-variant"),
+    skew_subscriptions=600,
+    skew_events=512,
+    skew_engines=("noncanonical", "counting", "counting-variant"),
+    churn_ops=1500,
+    churn_engines=("noncanonical", "noncanonical×4"),
+)
+
+SCALES: dict[str, BenchScale] = {QUICK.name: QUICK, FULL.name: FULL}
+
+
+def resolve_scale(scale: BenchScale | str) -> BenchScale:
+    """Accept a :class:`BenchScale` or a registered scale name."""
+    if isinstance(scale, BenchScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; registered scales: "
+            f"{', '.join(SCALES)}"
+        ) from None
+
+
+def scaled_down(scale: BenchScale | str, factor: int) -> BenchScale:
+    """A copy of ``scale`` with every population divided by ``factor``.
+
+    The smoke-test knob: tests shrink the quick scale further without
+    inventing their own matrix.
+    """
+    if factor < 1:
+        raise ValueError("factor must be at least 1")
+    base = resolve_scale(scale)
+
+    def shrink(population: int) -> int:
+        return max(population // factor, 8)
+
+    return replace(
+        base,
+        name=f"{base.name}/{factor}" if factor > 1 else base.name,
+        subscriptions=shrink(base.subscriptions),
+        events=shrink(base.events),
+        repeats=1 if factor > 1 else base.repeats,
+        skew_subscriptions=shrink(base.skew_subscriptions),
+        skew_events=shrink(base.skew_events),
+        churn_ops=shrink(base.churn_ops),
+    )
+
+
+def _spec_fields(name: str | EngineSpec) -> tuple[str, int, str]:
+    """(canonical engine, shards, executor) of a spec or name.
+
+    Accepts the ``"noncanonical×4"`` shorthand, display-name aliases,
+    and plain canonical names — the record fields come out normalized
+    either way.
+    """
+    spec = EngineSpec(name) if isinstance(name, str) else name
+    options = dict(spec.options)
+    return (
+        spec.name,
+        int(options.get("shards", 1)),
+        str(options.get("executor", "serial")),
+    )
+
+
+#: Elapsed times below the timer's own resolution are clamped to it, so
+#: throughput stays finite (``Infinity`` is not JSON) and honest — the
+#: measurement only says "faster than the timer can see".
+_TIMER_RESOLUTION = time.get_clock_info("perf_counter").resolution or 1e-9
+
+
+def _finite_throughput(events: int, seconds: float) -> float:
+    """Events/sec with sub-resolution elapsed clamped to the resolution."""
+    return events / max(seconds, _TIMER_RESOLUTION)
+
+
+def _counter_metrics(counters: Mapping[str, float] | None) -> dict[str, float]:
+    """Per-event counter averages under their trajectory metric names."""
+    if not counters:
+        return {}
+    return {
+        "phase2_calls_per_event": counters.get("phase2_calls", 0.0),
+        "candidates_probed_per_event": counters.get("candidates_probed", 0.0),
+        "matches_per_event": counters.get("matches_found", 0.0),
+    }
+
+
+def _throughput_record(
+    scenario: str,
+    point: ThroughputPoint,
+    *,
+    engine: str,
+    shards: int = 1,
+    executor: str = "serial",
+    extra_metrics: Mapping[str, float] | None = None,
+) -> BenchRecord:
+    metrics = _counter_metrics(point.counters)
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    return BenchRecord(
+        scenario=scenario,
+        engine=engine,
+        shards=shards,
+        executor=executor,
+        batch_size=point.batch_size,
+        events=point.events,
+        seconds=point.seconds,
+        events_per_second=_finite_throughput(point.events, point.seconds),
+        memory_bytes=point.memory_bytes,
+        metrics=metrics,
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario phases
+# ----------------------------------------------------------------------
+def throughput_records(
+    scale: BenchScale | str = QUICK,
+    *,
+    engines: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[BenchRecord]:
+    """The throughput sweep: every engine × every batch size."""
+    scale = resolve_scale(scale)
+    names = tuple(engines) if engines is not None else engine_names()
+    results = run_throughput_sweep(
+        subscription_count=scale.subscriptions,
+        event_count=scale.events,
+        batch_sizes=scale.batch_sizes,
+        value_range=scale.value_range,
+        engines=names,
+        seed=seed,
+        repeats=scale.repeats,
+    )
+    records = []
+    # run_throughput_sweep keys results by engine *display* name, in
+    # entry order; zip back to the entries to recover the spec fields.
+    for name, points in zip(names, results.values()):
+        engine, shards, executor = _spec_fields(name)
+        for point in points:
+            records.append(
+                _throughput_record(
+                    "throughput",
+                    point,
+                    engine=engine,
+                    shards=shards,
+                    executor=executor,
+                )
+            )
+    return records
+
+
+def shard_records(
+    scale: BenchScale | str = QUICK,
+    *,
+    engines: Sequence[str] | None = None,
+    executor: str = "serial",
+    seed: int = 0,
+) -> list[BenchRecord]:
+    """The shard-scaling sweep: speedup per shard count per engine."""
+    scale = resolve_scale(scale)
+    names = tuple(engines) if engines is not None else scale.shard_engines
+    results = run_shard_sweep(
+        subscription_count=scale.subscriptions,
+        shard_counts=scale.shard_counts,
+        engines=names,
+        executor=executor,
+        event_count=scale.events,
+        seed=seed,
+        repeats=scale.repeats,
+    )
+    records = []
+    for name, curve in results.items():
+        for point in curve:
+            records.append(_shard_record(point, engine=name))
+    return records
+
+
+def _shard_record(point: ShardScalingPoint, *, engine: str) -> BenchRecord:
+    metrics = _counter_metrics(point.counters)
+    # a sub-resolution measurement makes the harness speedup infinite;
+    # record 0.0 ("no usable speedup signal") rather than break the schema
+    metrics["speedup"] = (
+        point.speedup if math.isfinite(point.speedup) else 0.0
+    )
+    return BenchRecord(
+        scenario="shard-scaling",
+        engine=engine,
+        shards=point.shards,
+        executor=point.executor,
+        batch_size=point.batch_size,
+        events=point.events,
+        seconds=point.seconds,
+        events_per_second=_finite_throughput(point.events, point.seconds),
+        memory_bytes=point.memory_bytes,
+        metrics=metrics,
+    )
+
+
+def skew_records(
+    scale: BenchScale | str = QUICK,
+    *,
+    engines: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[BenchRecord]:
+    """The hot-key workload: Zipf-skewed keys, concentrated candidates.
+
+    All engines share one registry/index manager and the same skewed
+    subscription population — identical phase 1, as everywhere in the
+    reproduction.
+    """
+    scale = resolve_scale(scale)
+    names = tuple(engines) if engines is not None else scale.skew_engines
+    scenario = SkewedHotKeyScenario(seed=seed)
+    subscriptions = scenario.subscriptions(scale.skew_subscriptions)
+    events = scenario.events(scale.skew_events)
+    registry = PredicateRegistry()
+    indexes = IndexManager()
+    records = []
+    for name in names:
+        engine = build_engine(name, registry=registry, indexes=indexes)
+        try:
+            for subscription in subscriptions:
+                engine.register(subscription)
+            point = measure_throughput(
+                engine,
+                events,
+                batch_size=max(scale.batch_sizes),
+                repeats=scale.repeats,
+            )
+            canonical, shards, executor = _spec_fields(name)
+            records.append(
+                _throughput_record(
+                    "skew",
+                    point,
+                    engine=canonical,
+                    shards=shards,
+                    executor=executor,
+                )
+            )
+        finally:
+            engine.close()
+    return records
+
+
+def churn_records(
+    scale: BenchScale | str = QUICK,
+    *,
+    engines: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[BenchRecord]:
+    """The subscribe/unsubscribe churn workload, timed end to end.
+
+    One deterministic operation stream is materialized once and replayed
+    against a fresh engine per repeat (churn mutates engine state, so
+    repeats cannot share it).  The headline number is *operations* per
+    second — registrations and withdrawals count as work, exactly the
+    cost the paper's §2.1 unsubscription discussion is about.
+    """
+    scale = resolve_scale(scale)
+    names = tuple(engines) if engines is not None else scale.churn_engines
+    churn = ChurnScenario(seed=seed)
+    ops = list(churn.ops(scale.churn_ops))
+    op_count = len(ops)
+    publishes = sum(1 for kind, _ in ops if kind == "publish")
+    subscribes = sum(1 for kind, _ in ops if kind == "subscribe")
+    records = []
+    for name in names:
+        spec = EngineSpec(name)
+        best = float("inf")
+        matches = 0
+        memory = 0
+        counters: Mapping[str, float] | None = None
+        for _ in range(max(scale.repeats, 1)):
+            engine = spec.build()
+            try:
+                engine.reset_counters()
+                start = time.perf_counter()
+                trace = churn.apply(engine, iter(ops))
+                elapsed = time.perf_counter() - start
+                best = min(best, elapsed)
+                matches = sum(len(matched) for matched in trace)
+                memory = engine.memory_bytes()
+                counters = {
+                    key: value / max(publishes, 1)
+                    for key, value in engine.counters.snapshot().items()
+                }
+            finally:
+                engine.close()
+        canonical, shards, executor = _spec_fields(spec)
+        records.append(
+            BenchRecord(
+                scenario="churn",
+                engine=canonical,
+                shards=shards,
+                executor=executor,
+                batch_size=1,  # churn publishes take the per-event path
+                events=op_count,
+                seconds=best,
+                events_per_second=_finite_throughput(op_count, best),
+                memory_bytes=memory,
+                metrics={
+                    **_counter_metrics(counters),
+                    "publish_ops": float(publishes),
+                    "subscribe_ops": float(subscribes),
+                    "unsubscribe_ops": float(op_count - publishes - subscribes),
+                    "matches_per_publish": matches / max(publishes, 1),
+                },
+            )
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# the full matrix
+# ----------------------------------------------------------------------
+def run_bench(
+    scale: BenchScale | str = "quick",
+    *,
+    engines: Sequence[str] | None = None,
+    seed: int = 0,
+) -> BenchReport:
+    """Execute the curated matrix and return the validated report.
+
+    ``engines`` restricts the *throughput* phase (the other phases keep
+    their scale-curated engine sets) — the knob tests and bisections
+    use; ``None`` covers the whole registry.
+    """
+    scale = resolve_scale(scale)
+    records = [
+        *throughput_records(scale, engines=engines, seed=seed),
+        *shard_records(scale, seed=seed),
+        *skew_records(scale, seed=seed),
+        *churn_records(scale, seed=seed),
+    ]
+    return BenchReport(scale=scale.name, records=records).validate()

@@ -2,6 +2,7 @@
 
 from .base import (
     FilterEngine,
+    MatchCounters,
     UnknownSubscriptionError,
     UnsupportedSubscriptionError,
 )
@@ -41,6 +42,7 @@ ENGINES = engine_catalog()
 
 __all__ = [
     "FilterEngine",
+    "MatchCounters",
     "UnknownSubscriptionError",
     "UnsupportedSubscriptionError",
     "BruteForceEngine",

@@ -18,6 +18,7 @@ plots.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import AbstractSet, Iterable, Mapping, Sequence
 
 from ..events.event import Event
@@ -38,6 +39,57 @@ class UnsupportedSubscriptionError(ValueError):
 
 class UnknownSubscriptionError(KeyError):
     """Raised when unregistering a subscription id that is not registered."""
+
+
+@dataclass
+class MatchCounters:
+    """Phase-2 work counters — *why* a wall-clock number is what it is.
+
+    The paper's §4.1 analysis explains its curves through candidate
+    counts ("the different handling of non-candidate subscriptions"),
+    so the benchmark trajectory records these alongside every timing:
+
+    * ``phase2_calls`` — phase-2 evaluations answered (one per event;
+      memoized batch paths count cache hits here too, since an answer
+      was produced);
+    * ``candidates_probed`` — subscription units actually examined:
+      candidate trees evaluated (non-canonical/paged), clause slots
+      compared (counting engines), tree nodes visited (matching tree),
+      expressions evaluated (brute force).  Memo hits probe nothing;
+    * ``matches_found`` — matching subscription ids returned.
+
+    Counters accumulate monotonically; :meth:`reset` zeroes them.  They
+    measure *in-process* work only — batches routed to the sharded
+    runtime's fork workers do their probing in the worker processes,
+    invisible here.
+    """
+
+    phase2_calls: int = 0
+    candidates_probed: int = 0
+    matches_found: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.phase2_calls = 0
+        self.candidates_probed = 0
+        self.matches_found = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters as a plain dict (stable keys, copy-safe)."""
+        return {
+            "phase2_calls": self.phase2_calls,
+            "candidates_probed": self.candidates_probed,
+            "matches_found": self.matches_found,
+        }
+
+    def __add__(self, other: "MatchCounters") -> "MatchCounters":
+        if not isinstance(other, MatchCounters):
+            return NotImplemented
+        return MatchCounters(
+            phase2_calls=self.phase2_calls + other.phase2_calls,
+            candidates_probed=self.candidates_probed + other.candidates_probed,
+            matches_found=self.matches_found + other.matches_found,
+        )
 
 
 class FilterEngine(abc.ABC):
@@ -63,6 +115,7 @@ class FilterEngine(abc.ABC):
     ) -> None:
         self.registry = registry if registry is not None else PredicateRegistry()
         self.indexes = indexes if indexes is not None else IndexManager()
+        self._counters = MatchCounters()
 
     # ------------------------------------------------------------------
     # registration
@@ -99,13 +152,31 @@ class FilterEngine(abc.ABC):
         ``len(subscription_ids()) == subscription_count`` always holds.
         """
 
+    @property
+    def counters(self) -> MatchCounters:
+        """This engine's phase-2 work counters (see :class:`MatchCounters`).
+
+        The sharded engine overrides this with the sum over its shards.
+        """
+        return self._counters
+
+    def reset_counters(self) -> None:
+        """Zero the phase-2 work counters (state is untouched)."""
+        self._counters.reset()
+
     def stats(self) -> dict:
-        """One engine's counters as plain data (broker/shard reporting)."""
+        """One engine's counters as plain data (broker/shard reporting).
+
+        Includes the :class:`MatchCounters` keys (``phase2_calls``,
+        ``candidates_probed``, ``matches_found``) so the benchmark
+        trajectory can explain *why* a wall-clock number moved.
+        """
         return {
             "engine": self.name,
             "subscriptions": self.subscription_count,
             "stored_subscriptions": self.stored_subscription_count,
             "memory_bytes": self.memory_bytes(),
+            **self.counters.snapshot(),
         }
 
     # ------------------------------------------------------------------

@@ -81,11 +81,16 @@ class BruteForceEngine(FilterEngine):
         Predicates are re-evaluated once per occurrence per subscription,
         deliberately — that is what "no index structures" costs.
         """
-        return {
+        matched = {
             sid
             for sid, subscription in self._subscriptions.items()
             if subscription.matches(event)
         }
+        counters = self._counters
+        counters.phase2_calls += 1
+        counters.candidates_probed += len(self._subscriptions)
+        counters.matches_found += len(matched)
+        return matched
 
     def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
         """Per-event direct evaluation — this engine's ``match`` bypasses
@@ -94,11 +99,16 @@ class BruteForceEngine(FilterEngine):
 
     def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
         """Phase-2-only mode: evaluate every tree, no candidate selection."""
-        return {
+        matched = {
             sid
             for sid, tree in self._trees.items()
             if tree.evaluate(fulfilled_ids)
         }
+        counters = self._counters
+        counters.phase2_calls += 1
+        counters.candidates_probed += len(self._trees)
+        counters.matches_found += len(matched)
+        return matched
 
     def match_fulfilled_batch(
         self, fulfilled_sets: Sequence[AbstractSet[int]]
@@ -106,11 +116,16 @@ class BruteForceEngine(FilterEngine):
         """Batch phase-2-only mode: identical assignments evaluate once."""
         memo: dict[frozenset[int], set[int]] = {}
         results: list[set[int]] = []
+        counters = self._counters
         for fulfilled_ids in fulfilled_sets:
             key = frozenset(fulfilled_ids)
             cached = memo.get(key)
             if cached is None:
                 cached = memo[key] = self.match_fulfilled(key)
+            else:
+                # memo hit: answered without evaluating any tree
+                counters.phase2_calls += 1
+                counters.matches_found += len(cached)
             results.append(set(cached))
         return results
 

@@ -257,6 +257,10 @@ class CountingEngine(FilterEngine):
             if required and hits[clause_index] == required:
                 matched.add(clause_subscription[clause_index])
         hits[:] = bytes(len(hits))  # zero for the next event
+        counters = self._counters
+        counters.phase2_calls += 1
+        counters.candidates_probed += len(self._counts)  # full-vector scan
+        counters.matches_found += len(matched)
         return matched
 
     def match_fulfilled_batch(
@@ -275,6 +279,7 @@ class CountingEngine(FilterEngine):
         clause_subscription = self._clause_subscription
         zero = bytes(len(hits))
         results: list[set[int]] = []
+        matched_total = 0
         for fulfilled_ids in fulfilled_sets:
             for pid in fulfilled_ids:
                 clauses = association.get(pid)
@@ -286,7 +291,12 @@ class CountingEngine(FilterEngine):
                 if required and hits[clause_index] == required:
                     matched.add(clause_subscription[clause_index])
             hits[:] = zero
+            matched_total += len(matched)
             results.append(matched)
+        counters = self._counters
+        counters.phase2_calls += len(results)
+        counters.candidates_probed += len(counts) * len(results)
+        counters.matches_found += matched_total
         return results
 
     def subscriber_of(self, subscription_id: int) -> str | None:
@@ -358,6 +368,10 @@ class CountingVariantEngine(CountingEngine):
                 if hit == counts[clause_index]:
                     matched.add(clause_subscription[clause_index])
                 hits[clause_index] = 0
+        counters = self._counters
+        counters.phase2_calls += 1
+        counters.candidates_probed += len(touched)  # touched clauses only
+        counters.matches_found += len(matched)
         return matched
 
     def match_fulfilled_batch(
@@ -371,6 +385,8 @@ class CountingVariantEngine(CountingEngine):
         touched: list[int] = []
         extend = touched.extend
         results: list[set[int]] = []
+        probed_total = 0
+        matched_total = 0
         for fulfilled_ids in fulfilled_sets:
             touched.clear()
             for pid in fulfilled_ids:
@@ -386,5 +402,11 @@ class CountingVariantEngine(CountingEngine):
                     if hit == counts[clause_index]:
                         matched.add(clause_subscription[clause_index])
                     hits[clause_index] = 0
+            probed_total += len(touched)
+            matched_total += len(matched)
             results.append(matched)
+        counters = self._counters
+        counters.phase2_calls += len(results)
+        counters.candidates_probed += probed_total
+        counters.matches_found += matched_total
         return results

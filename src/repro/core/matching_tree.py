@@ -222,9 +222,11 @@ class MatchingTreeEngine(FilterEngine):
         """Walk the tree following the don't-care edge plus every edge
         whose predicates are all fulfilled."""
         matched: set[int] = set()
+        visited = 0
         stack = [self._root]
         while stack:
             node = stack.pop()
+            visited += 1
             if node.results:
                 matched.update(node.results)
             if node.star is not None:
@@ -232,6 +234,10 @@ class MatchingTreeEngine(FilterEngine):
             for key, child in node.edges.items():
                 if key <= fulfilled_ids:
                     stack.append(child)
+        counters = self._counters
+        counters.phase2_calls += 1
+        counters.candidates_probed += visited  # tree nodes walked
+        counters.matches_found += len(matched)
         return matched
 
     def match_fulfilled_batch(
@@ -246,11 +252,17 @@ class MatchingTreeEngine(FilterEngine):
         """
         memo: dict[frozenset[int], set[int]] = {}
         results: list[set[int]] = []
+        counters = self._counters
         for fulfilled_ids in fulfilled_sets:
             key = frozenset(fulfilled_ids)
             cached = memo.get(key)
             if cached is None:
                 cached = memo[key] = self.match_fulfilled(key)
+            else:
+                # memo hit: an answer was produced without walking —
+                # a call with zero probes, which is the point of the memo
+                counters.phase2_calls += 1
+                counters.matches_found += len(cached)
             results.append(set(cached))
         return results
 

@@ -214,7 +214,15 @@ class NonCanonicalEngine(FilterEngine):
     def _match_candidates(
         self, candidates: AbstractSet[int], fulfilled_ids: AbstractSet[int]
     ) -> set[int]:
-        """Evaluate each candidate's subscription tree on the assignment."""
+        """Evaluate each candidate's subscription tree on the assignment.
+
+        Both the per-event and the batch path funnel through here, so
+        this is also where the work counters tick: probes are candidate
+        trees evaluated — the paper's key quantity.
+        """
+        counters = self._counters
+        counters.phase2_calls += 1
+        counters.candidates_probed += len(candidates)
         matched: set[int] = set()
         if self._evaluation == "compiled":
             compiled = self._compiled
@@ -236,6 +244,7 @@ class NonCanonicalEngine(FilterEngine):
                             break
                 elif payload(fulfilled_ids):
                     matched.add(sid)
+            counters.matches_found += len(matched)
             return matched
         buffer = self._arena.buffer
         locations = self._locations
@@ -244,6 +253,7 @@ class NonCanonicalEngine(FilterEngine):
             offset, width = locations[sid]
             if evaluate(buffer, offset, width, fulfilled_ids):
                 matched.add(sid)
+        counters.matches_found += len(matched)
         return matched
 
     def candidates_for(self, fulfilled_ids: AbstractSet[int]) -> set[int]:

@@ -253,6 +253,10 @@ class PagedNonCanonicalEngine(FilterEngine):
             encoded = read(offset, width)
             if evaluate(encoded, 0, width, fulfilled_ids):
                 matched.add(sid)
+        counters = self._counters
+        counters.phase2_calls += 1
+        counters.candidates_probed += len(candidates)
+        counters.matches_found += len(matched)
         return matched
 
     def match_fulfilled_batch(
@@ -288,12 +292,20 @@ class PagedNonCanonicalEngine(FilterEngine):
             encoded[sid] = read(offset, width)
         evaluate = self._codec.evaluate
         results: list[set[int]] = []
+        probed_total = 0
+        matched_total = 0
         for fulfilled_ids, candidates in zip(fulfilled_sets, per_event):
             matched: set[int] = set()
             for sid in candidates:
                 if evaluate(encoded[sid], 0, locations[sid][1], fulfilled_ids):
                     matched.add(sid)
+            probed_total += len(candidates)
+            matched_total += len(matched)
             results.append(matched)
+        counters = self._counters
+        counters.phase2_calls += len(results)
+        counters.candidates_probed += probed_total
+        counters.matches_found += matched_total
         return results
 
     def memory_breakdown(self) -> Mapping[str, int]:

@@ -57,7 +57,7 @@ from ..events.event import Event
 from ..indexes.manager import IndexManager
 from ..predicates.registry import PredicateRegistry
 from ..subscriptions.subscription import Subscription
-from .base import FilterEngine, UnknownSubscriptionError
+from .base import FilterEngine, MatchCounters, UnknownSubscriptionError
 from .registry import EngineSpec
 
 T = TypeVar("T")
@@ -489,6 +489,22 @@ class ShardedEngine(FilterEngine):
             entry["shard"] = index
             stats.append(entry)
         return stats
+
+    @property
+    def counters(self) -> MatchCounters:
+        """Aggregated phase-2 work counters, summed across the shards.
+
+        In-process work only: batches the process executor routes to its
+        fork workers are probed in the workers, not here.
+        """
+        total = MatchCounters()
+        for shard in self._shards:
+            total = total + shard.counters
+        return total
+
+    def reset_counters(self) -> None:
+        for shard in self._shards:
+            shard.reset_counters()
 
     def stats(self) -> dict:
         entry = super().stats()

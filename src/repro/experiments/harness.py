@@ -25,7 +25,7 @@ import functools
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..core.base import FilterEngine
 from ..core.registry import EngineSpec, build_engine
@@ -294,13 +294,22 @@ DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 32, 256)
 
 @dataclass(frozen=True)
 class ThroughputPoint:
-    """Events/sec of one engine's full pipeline at one batch size."""
+    """Events/sec of one engine's full pipeline at one batch size.
+
+    ``counters`` holds the engine's per-event phase-2 work averages over
+    the measurement (``candidates_probed``, ``matches_found``; see
+    :class:`~repro.core.base.MatchCounters`) — the quantities that
+    explain *why* the wall-clock number is what it is.  ``None`` when
+    the engine exposes no counters.
+    """
 
     engine: str
     batch_size: int
     events: int                   # events matched per repeat
     seconds: float                # best-of-repeats wall time for them
     events_per_second: float
+    counters: Mapping[str, float] | None = None
+    memory_bytes: int = 0         # working set under the paper cost model
 
 
 def measure_throughput(
@@ -316,6 +325,10 @@ def measure_throughput(
     time path (``engine.match`` per event) so it measures exactly the
     per-event dispatch overhead that batching amortizes; larger sizes
     chunk the stream through :meth:`FilterEngine.match_batch`.
+
+    The engine's :class:`~repro.core.base.MatchCounters` are reset
+    before and read after the timed repeats; the point reports them as
+    per-event averages across all repeats.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
@@ -326,8 +339,12 @@ def measure_throughput(
         events[start:start + batch_size]
         for start in range(0, len(events), batch_size)
     ]
+    repeats = max(repeats, 1)
+    instrumented = hasattr(engine, "reset_counters")
+    if instrumented:
+        engine.reset_counters()
     best = float("inf")
-    for _ in range(max(repeats, 1)):
+    for _ in range(repeats):
         if batch_size == 1:
             match = engine.match
             start = time.perf_counter()
@@ -341,12 +358,21 @@ def measure_throughput(
                 match_batch(chunk)
             elapsed = time.perf_counter() - start
         best = min(best, elapsed)
+    counters: dict[str, float] | None = None
+    if instrumented:
+        answered = max(len(events) * repeats, 1)
+        counters = {
+            key: value / answered
+            for key, value in engine.counters.snapshot().items()
+        }
     return ThroughputPoint(
         engine=engine.name,
         batch_size=batch_size,
         events=len(events),
         seconds=best,
         events_per_second=len(events) / best if best > 0 else float("inf"),
+        counters=counters,
+        memory_bytes=engine.memory_bytes(),
     )
 
 
@@ -388,55 +414,63 @@ def run_throughput_sweep(
         registry=registry,
         indexes=indexes,
     )
-    names = [engine.name for engine in engines]
-    if len(set(names)) != len(names):
-        raise ValueError(
-            f"engine factories must yield distinct engine names, got {names}; "
-            "results are keyed by name"
-        )
-    generator = PaperSubscriptionGenerator(
-        predicates_per_subscription=predicates_per_subscription,
-        attribute_pool=attribute_pool,
-        seed=seed,
-    )
-    for subscription in generator.subscriptions(subscription_count):
-        for engine in engines:
-            engine.register(subscription)
-    events = EventGenerator(
-        attribute_pool=attribute_pool,
-        attributes_per_event=attributes_per_event,
-        value_range=value_range,
-        skew=skew,
-        seed=seed + 1,
-    ).events(event_count)
-    if verify_agreement:
-        probe = events[:min(32, len(events))]
-        reference: list[set[int]] | None = None
-        reference_name = ""
-        for engine in engines:
-            batched = engine.match_batch(probe)
-            sequential = [engine.match(event) for event in probe]
-            if batched != sequential:
-                raise AssertionError(
-                    f"{engine.name}: match_batch disagrees with per-event match"
-                )
-            if reference is None:
-                reference, reference_name = batched, engine.name
-            elif batched != reference:
-                raise AssertionError(
-                    f"engine disagreement: {engine.name} != {reference_name}"
-                )
-    results: dict[str, list[ThroughputPoint]] = {
-        engine.name: [] for engine in engines
-    }
-    for engine in engines:
-        for batch_size in batch_sizes:
-            results[engine.name].append(
-                measure_throughput(
-                    engine, events, batch_size=batch_size, repeats=repeats
-                )
+    try:
+        names = [engine.name for engine in engines]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"engine factories must yield distinct engine names, got "
+                f"{names}; results are keyed by name"
             )
-    return results
+        generator = PaperSubscriptionGenerator(
+            predicates_per_subscription=predicates_per_subscription,
+            attribute_pool=attribute_pool,
+            seed=seed,
+        )
+        for subscription in generator.subscriptions(subscription_count):
+            for engine in engines:
+                engine.register(subscription)
+        events = EventGenerator(
+            attribute_pool=attribute_pool,
+            attributes_per_event=attributes_per_event,
+            value_range=value_range,
+            skew=skew,
+            seed=seed + 1,
+        ).events(event_count)
+        if verify_agreement:
+            probe = events[:min(32, len(events))]
+            reference: list[set[int]] | None = None
+            reference_name = ""
+            for engine in engines:
+                batched = engine.match_batch(probe)
+                sequential = [engine.match(event) for event in probe]
+                if batched != sequential:
+                    raise AssertionError(
+                        f"{engine.name}: match_batch disagrees with "
+                        "per-event match"
+                    )
+                if reference is None:
+                    reference, reference_name = batched, engine.name
+                elif batched != reference:
+                    raise AssertionError(
+                        f"engine disagreement: {engine.name} != "
+                        f"{reference_name}"
+                    )
+        results: dict[str, list[ThroughputPoint]] = {
+            engine.name: [] for engine in engines
+        }
+        for engine in engines:
+            for batch_size in batch_sizes:
+                results[engine.name].append(
+                    measure_throughput(
+                        engine, events, batch_size=batch_size, repeats=repeats
+                    )
+                )
+        return results
+    finally:
+        # the sweep built these engines itself (instances are rejected),
+        # so it owns their lifecycle — the paged engine holds a temp file
+        for engine in engines:
+            engine.close()
 
 
 # ----------------------------------------------------------------------
@@ -458,6 +492,8 @@ class ShardScalingPoint:
     seconds: float                # best-of-repeats wall time for them
     events_per_second: float
     speedup: float                # vs the single-shard serial baseline
+    counters: Mapping[str, float] | None = None  # per-event work averages
+    memory_bytes: int = 0         # (aggregated) paper-cost-model bytes
 
 
 def run_shard_sweep(
@@ -555,41 +591,51 @@ def run_shard_sweep(
                 if speedup_base is None
                 else point.events_per_second / speedup_base
             ),
+            counters=point.counters,
+            memory_bytes=point.memory_bytes,
         )
 
     results: dict[str, list[ShardScalingPoint]] = {}
     for spec in specs:
         baseline_engine = spec.build(registry=registry, indexes=indexes)
-        for subscription in subscriptions:
-            baseline_engine.register(subscription)
-        baseline = measure(spec.name, baseline_engine, 1, "serial")
-        curve = [baseline]
-        expected = baseline_engine.match_batch(probe) if verify_parity else None
-        for shard_count in counts:
-            if shard_count == 1:
-                continue  # the unsharded baseline is the shards=1 point
-            sharded = spec.with_options(
-                shards=shard_count, executor=executor
-            ).build(registry=registry, indexes=indexes)
-            try:
-                for subscription in subscriptions:
-                    sharded.register(subscription)
-                if expected is not None and sharded.match_batch(probe) != expected:
-                    raise AssertionError(
-                        f"{sharded.name} ({executor}) disagrees with the "
-                        f"unsharded {spec.name} engine"
+        try:
+            for subscription in subscriptions:
+                baseline_engine.register(subscription)
+            baseline = measure(spec.name, baseline_engine, 1, "serial")
+            curve = [baseline]
+            expected = (
+                baseline_engine.match_batch(probe) if verify_parity else None
+            )
+            for shard_count in counts:
+                if shard_count == 1:
+                    continue  # the unsharded baseline is the shards=1 point
+                sharded = spec.with_options(
+                    shards=shard_count, executor=executor
+                ).build(registry=registry, indexes=indexes)
+                try:
+                    for subscription in subscriptions:
+                        sharded.register(subscription)
+                    if (
+                        expected is not None
+                        and sharded.match_batch(probe) != expected
+                    ):
+                        raise AssertionError(
+                            f"{sharded.name} ({executor}) disagrees with the "
+                            f"unsharded {spec.name} engine"
+                        )
+                    curve.append(
+                        measure(
+                            spec.name,
+                            sharded,
+                            shard_count,
+                            executor,
+                            speedup_base=baseline.events_per_second,
+                        )
                     )
-                curve.append(
-                    measure(
-                        spec.name,
-                        sharded,
-                        shard_count,
-                        executor,
-                        speedup_base=baseline.events_per_second,
-                    )
-                )
-            finally:
-                sharded.close()
+                finally:
+                    sharded.close()
+        finally:
+            baseline_engine.close()
         results[spec.name] = curve
     return results
 

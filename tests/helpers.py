@@ -24,11 +24,15 @@ import os
 
 from hypothesis import strategies as st
 
-from repro import EngineSpec, build_engine, canonical_engine_name
+from repro import EngineSpec, build_engine, canonical_engine_name, engine_names
 from repro.events import Event
 from repro.indexes import IndexManager
 from repro.predicates import Operator, Predicate, PredicateRegistry
 from repro.subscriptions import And, Not, Or, PredicateLeaf
+
+#: Every canonical registry engine name, in registration order — the
+#: parametrization list for suites that cover the whole registry.
+ALL_ENGINE_NAMES = engine_names()
 
 #: Canonical registry name selected by the CI engine matrix, or None.
 SELECTED_ENGINE = (

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.broker import Broker, Publisher, Subscriber
-from repro import CountingEngine, NonCanonicalEngine
+from repro import CountingEngine
 from repro.events import (
     AttributeSpec,
     AttributeType,

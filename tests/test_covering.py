@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.events import Event
 from repro.predicates import Operator, Predicate
 from repro.subscriptions import parse
 from repro.subscriptions.covering import (

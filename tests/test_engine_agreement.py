@@ -23,7 +23,6 @@ from repro import (
 from repro.events import Event
 from repro.indexes import IndexManager
 from repro.predicates import PredicateRegistry
-from repro.subscriptions import Subscription
 from repro.workloads import (
     EventGenerator,
     GeneralSubscriptionGenerator,

@@ -12,7 +12,6 @@ from repro import (
     CountingEngine,
     NonCanonicalEngine,
 )
-from repro.events import Event
 from repro.memory import PaperWorkloadShape, noncanonical_bytes
 from repro.subscriptions import Subscription
 from repro.workloads import (

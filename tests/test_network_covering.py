@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.broker import Broker, BrokerNetwork
 from repro.events import Event
 from repro.workloads import StockScenario

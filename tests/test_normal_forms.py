@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.events import Event
 from repro.predicates import Operator, Predicate

@@ -16,7 +16,6 @@ from repro.broker.persistence import (
     save_broker,
     serialize_subscription,
 )
-from repro.events import Event
 from repro.subscriptions import Subscription
 from repro.workloads import GeneralSubscriptionGenerator, StockScenario
 

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.predicates import Operator, Predicate, PredicateRegistry
+from repro.predicates import PredicateRegistry
 from repro.subscriptions import (
     NodeKind,
     SubscriptionTree,

@@ -8,11 +8,10 @@ import pytest
 
 from repro import CountingEngine, NonCanonicalEngine
 from repro.experiments.profiling import (
-    MatchingProfile,
     engine_comparison_summary,
     profile_matching,
 )
-from repro.experiments.variance import Measurement, measure_until_stable
+from repro.experiments.variance import measure_until_stable
 from repro.workloads import FulfilledPredicateSampler, PaperSubscriptionGenerator
 
 
