@@ -10,6 +10,12 @@ subscriptions; every broker filters with its own non-canonical engine,
 and each models a small machine so the per-broker memory pressure is
 visible.
 
+Covering-based routing-table compaction is on by default: a broker
+skips registering a subscription when a same-direction one already
+covers it (the covered alerts ride the coverer's forwarding), so the
+suppression ratio and per-broker routing-table sizes printed at the end
+show how much engine state the overlay saved.
+
 Topology:
 
             geneva (hub)
@@ -65,12 +71,20 @@ def main() -> None:
         f"  pruned routing: {flooded} grouped broker hops instead of "
         f"{1_500 * 4} single-event hops for naive flooding"
     )
+    print(
+        f"  covering: {network.stats.suppressed_registrations} of "
+        f"{network.stats.hops_visited} remote registrations suppressed "
+        f"(suppression ratio {network.suppression_ratio():.1%})"
+    )
 
     print("\nper-broker state:")
     for broker in network.brokers():
         pressure = broker.memory_pressure()
+        table = network.routing_report()[broker.name]
         print(
             f"  {broker.name:<8} subscriptions={broker.subscription_count:<3} "
+            f"routing_table={table.entries:>2} entries "
+            f"({table.suppressed} suppressed) "
             f"matched_events={broker.stats.events_matched:<5} "
             f"memory_pressure={pressure:6.2%}"
         )

@@ -94,8 +94,11 @@ from .predicates import (
     PredicateRegistry,
 )
 from .subscriptions import (
+    CoveringIndex,
     Subscription,
     SubscriptionSyntaxError,
+    canonical_dnf,
+    covers,
     parse,
     simplify,
     to_dnf,
@@ -164,5 +167,8 @@ __all__ = [
     "parse",
     "simplify",
     "to_dnf",
+    "canonical_dnf",
+    "covers",
+    "CoveringIndex",
     "__version__",
 ]

@@ -30,6 +30,7 @@ from .runner import (
     SCALES,
     BenchScale,
     churn_records,
+    network_records,
     resolve_scale,
     run_bench,
     scaled_down,
@@ -75,6 +76,7 @@ __all__ = [
     "shard_records",
     "skew_records",
     "churn_records",
+    "network_records",
     "CompareResult",
     "Regression",
     "compare_reports",

@@ -15,6 +15,11 @@ Policy
 * **memory** (``memory_bytes``): deterministic under the paper's cost
   model, so growth beyond
   :data:`~repro.bench.thresholds.MEMORY_TOLERANCE` fails.
+* **suppression** (``metrics.suppression_ratio``, network records):
+  deterministic per workload seed; a drop of more than
+  :data:`~repro.bench.thresholds.SUPPRESSION_TOLERANCE` (absolute)
+  below baseline fails — it means covering-based table compaction
+  silently stopped engaging.  Hardware mismatch never softens it.
 * **coverage**: a baseline point missing from the fresh report is a
   failure (a silently dropped benchmark is how regressions hide);
   fresh points absent from the baseline are reported as additions and
@@ -41,6 +46,7 @@ from .thresholds import (
     MEMORY_TOLERANCE,
     MIN_GATED_EVENTS_PER_SECOND,
     QUICK_TIME_TOLERANCE,
+    SUPPRESSION_TOLERANCE,
 )
 
 #: Environment keys whose disagreement makes *timings* incomparable and
@@ -76,6 +82,12 @@ class Regression:
                 f"{self.record.label()}: {self.fresh_value:,.0f} ev/s vs "
                 f"baseline {self.baseline_value:,.0f} "
                 f"({self.ratio:.2f}x, floor {self.limit:,.0f})"
+            )
+        if self.metric == "suppression_ratio":
+            return (
+                f"{self.record.label()}: suppression "
+                f"{self.fresh_value:.1%} vs baseline "
+                f"{self.baseline_value:.1%} (floor {self.limit:.1%})"
             )
         return (
             f"{self.record.label()}: {self.fresh_value:,.0f} B vs "
@@ -182,6 +194,24 @@ def compare_reports(
                     limit=cap,
                 )
             )
+        # suppression ratio (network records) is deterministic per seed,
+        # like memory-model bytes: a drop past the absolute tolerance
+        # means the covering path stopped engaging, and a hardware
+        # mismatch never excuses it
+        base_ratio = base.metrics.get("suppression_ratio")
+        new_ratio = new.metrics.get("suppression_ratio")
+        if base_ratio is not None and new_ratio is not None:
+            floor = base_ratio - SUPPRESSION_TOLERANCE
+            if new_ratio < floor:
+                result.regressions.append(
+                    Regression(
+                        record=new,
+                        metric="suppression_ratio",
+                        baseline_value=base_ratio,
+                        fresh_value=new_ratio,
+                        limit=floor,
+                    )
+                )
     for key, new in fresh_map.items():
         if key not in baseline_map:
             result.additions.append(new)

@@ -53,8 +53,20 @@ from typing import Any, Iterable, Mapping
 #: refuses to diff reports with mismatched schema versions.
 SCHEMA_VERSION = 1
 
-#: The scenario names a runner-produced report may contain.
-SCENARIOS = ("throughput", "shard-scaling", "skew", "churn")
+#: The scenario names a runner-produced report may contain.  The
+#: ``network-*`` family carries one scenario per overlay topology; its
+#: records gate routing throughput *and* the ``suppression_ratio``
+#: metric (see :mod:`repro.bench.compare`).
+SCENARIOS = (
+    "throughput",
+    "shard-scaling",
+    "skew",
+    "churn",
+    "network-line",
+    "network-star",
+    "network-tree",
+    "network-random",
+)
 
 #: Identity of one record inside a report.
 RecordKey = tuple[str, str, int, str, int]

@@ -13,7 +13,11 @@
   hot-key workload, where candidate sets concentrate;
 * **churn** — the :class:`~repro.workloads.scenarios.ChurnScenario`
   subscribe/unsubscribe stream, timing registration, withdrawal and
-  matching together.
+  matching together;
+* **network** — the covering-routed broker overlay
+  (:func:`~repro.experiments.harness.run_network_sweep`) across line,
+  star, tree, and random topologies: routing throughput headlines,
+  suppression ratio and registration compaction in the metrics.
 
 Everything reuses the experiment harness — the runner adds *recording*
 (counters, memory, environment), never a second measurement protocol.
@@ -65,6 +69,13 @@ class BenchScale:
     #: churn workload
     churn_ops: int
     churn_engines: tuple[str, ...]
+    #: network routing workload (overlay topologies, covering on)
+    network_topologies: tuple[str, ...]
+    network_brokers: int
+    network_subscriptions: int
+    network_events: int
+    network_engine: str
+    network_batch_size: int
 
 
 #: CI-gate sizing: every engine and every scenario is covered, total
@@ -83,6 +94,12 @@ QUICK = BenchScale(
     skew_engines=("noncanonical", "counting"),
     churn_ops=400,
     churn_engines=("noncanonical", "noncanonical×4"),
+    network_topologies=("line", "star", "tree", "random"),
+    network_brokers=8,
+    network_subscriptions=64,
+    network_events=256,
+    network_engine="noncanonical",
+    network_batch_size=64,
 )
 
 #: Workstation sizing: larger populations, more repeats, tighter noise.
@@ -100,6 +117,12 @@ FULL = BenchScale(
     skew_engines=("noncanonical", "counting", "counting-variant"),
     churn_ops=1500,
     churn_engines=("noncanonical", "noncanonical×4"),
+    network_topologies=("line", "star", "tree", "random"),
+    network_brokers=16,
+    network_subscriptions=160,
+    network_events=512,
+    network_engine="noncanonical",
+    network_batch_size=64,
 )
 
 SCALES: dict[str, BenchScale] = {QUICK.name: QUICK, FULL.name: FULL}
@@ -140,6 +163,8 @@ def scaled_down(scale: BenchScale | str, factor: int) -> BenchScale:
         skew_subscriptions=shrink(base.skew_subscriptions),
         skew_events=shrink(base.skew_events),
         churn_ops=shrink(base.churn_ops),
+        network_subscriptions=shrink(base.network_subscriptions),
+        network_events=shrink(base.network_events),
     )
 
 
@@ -407,6 +432,85 @@ def churn_records(
     return records
 
 
+def network_records(
+    scale: BenchScale | str = QUICK,
+    *,
+    seed: int = 0,
+) -> list[BenchRecord]:
+    """The overlay routing workload: one record per topology.
+
+    Each record measures the covering-enabled overlay (the production
+    default) end to end — per-broker matching, reverse-path forwarding,
+    home delivery — on the covering-rich
+    :class:`~repro.workloads.scenarios.NetworkChurnScenario` population.
+    The flooding configuration is measured alongside as the comparison
+    point and reported in the metrics (``flooding_events_per_second``),
+    together with ``suppression_ratio`` and per-broker registration
+    figures; the comparator gates the ratio like memory-model bytes
+    (deterministic per seed — see :mod:`repro.bench.compare`).
+    """
+    from ..experiments.harness import run_network_sweep
+
+    scale = resolve_scale(scale)
+    points = run_network_sweep(
+        topologies=scale.network_topologies,
+        broker_count=scale.network_brokers,
+        subscription_count=scale.network_subscriptions,
+        event_count=scale.network_events,
+        batch_size=scale.network_batch_size,
+        engine=scale.network_engine,
+        covering=(True, False),
+        seed=seed,
+        repeats=scale.repeats,
+    )
+    flooding = {
+        point.topology: point for point in points if not point.covering
+    }
+    records = []
+    for point in points:
+        if not point.covering:
+            continue
+        baseline = flooding.get(point.topology)
+        records.append(
+            BenchRecord(
+                scenario=f"network-{point.topology}",
+                engine=point.engine,
+                shards=1,
+                executor="serial",
+                batch_size=scale.network_batch_size,
+                events=point.events,
+                seconds=point.seconds,
+                events_per_second=_finite_throughput(
+                    point.events, point.seconds
+                ),
+                memory_bytes=point.memory_bytes,
+                metrics={
+                    "suppression_ratio": point.suppression_ratio,
+                    "registrations_per_broker": point.registrations_per_broker,
+                    "suppressed_registrations": float(
+                        point.suppressed_registrations
+                    ),
+                    "broker_hops_per_event": point.broker_hops / point.events,
+                    "deliveries_per_event": point.deliveries / point.events,
+                    "routing_bytes": float(point.routing_bytes),
+                    **(
+                        {
+                            "flooding_events_per_second": _finite_throughput(
+                                baseline.events, baseline.seconds
+                            ),
+                            "flooding_registrations_per_broker": (
+                                baseline.registrations_per_broker
+                            ),
+                        }
+                        if baseline is not None
+                        else {}
+                    ),
+                },
+            )
+        )
+    return records
+
+
 # ----------------------------------------------------------------------
 # the full matrix
 # ----------------------------------------------------------------------
@@ -428,5 +532,6 @@ def run_bench(
         *shard_records(scale, seed=seed),
         *skew_records(scale, seed=seed),
         *churn_records(scale, seed=seed),
+        *network_records(scale, seed=seed),
     ]
     return BenchReport(scale=scale.name, records=records).validate()

@@ -49,3 +49,22 @@ SERIAL_4SHARD_MIN_RATIO = 0.5
 #: single-shard serial baseline on at least one engine (multi-core
 #: runners only; the benchmark skips on <2 cores).
 PROCESS_4SHARD_MIN_SPEEDUP = 1.3
+
+#: Suppression ratio is a *deterministic* function of the workload seed
+#: and the covering implementation, like memory-model bytes — but
+#: population shrinking (--shrink) and future workload retunes move it
+#: legitimately.  A fresh ratio may sit at most this far (absolute)
+#: below the baseline before the comparator fails the run.
+SUPPRESSION_TOLERANCE = 0.05
+
+#: The quick-scale network workload is covering-rich by construction;
+#: the tree-topology run must suppress at least this fraction of remote
+#: registrations or the covering path has silently stopped engaging.
+NETWORK_TREE_MIN_SUPPRESSION = 0.10
+
+#: Registering N covering-friendly subscriptions into the CoveringIndex
+#: must stay o(N²) in *exact* covers() calls: the benchmark asserts at
+#: most this many exact tests per subscription on the band corpus (an
+#: all-pairs scan would need ~N/2 per subscription, ~100× this at the
+#: benchmark's N=512).
+COVERING_MAX_EXACT_CALLS_PER_SUB = 6.0

@@ -4,6 +4,7 @@ from .broker import Broker, BrokerStats, Notification
 from .client import Publisher, Subscriber
 from .handle import SubscriptionHandle
 from .network import BrokerNetwork, NetworkStats, TopologyError
+from .routing import RouteChange, RoutingTable, RoutingTableStats
 from .sinks import (
     CallbackSink,
     CollectingSink,
@@ -34,6 +35,9 @@ __all__ = [
     "BrokerNetwork",
     "NetworkStats",
     "TopologyError",
+    "RouteChange",
+    "RoutingTable",
+    "RoutingTableStats",
     "PersistenceError",
     "dump_subscriptions",
     "load_subscriptions",

@@ -49,9 +49,7 @@ class Subscriber:
         self.sink = CollectingSink()
         self._handles: dict[int, SubscriptionHandle] = {}
 
-    def subscribe(
-        self, subscription: Subscription | str
-    ) -> SubscriptionHandle:
+    def subscribe(self, subscription: Subscription | str) -> SubscriptionHandle:
         """Register interest; notifications accumulate on :attr:`sink`."""
         handle = self.broker.subscribe(
             subscription, subscriber=self.name, sink=self.sink

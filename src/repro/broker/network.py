@@ -9,17 +9,21 @@ Topology and routing follow the classical acyclic-overlay design
 
 * brokers form a **tree** (connecting two already-connected brokers is
   rejected — reverse-path routing needs acyclicity);
-* a subscription registered at broker ``B`` is **flooded** to every
-  broker; each broker remembers, per subscription, the neighbor on the
-  path back toward ``B`` (its *next hop*);
+* a subscription registered at broker ``B`` is propagated to every
+  broker; each broker's :class:`~repro.broker.routing.RoutingTable`
+  remembers the neighbor on the path back toward ``B`` (its *next
+  hop*) and, with covering enabled (the default), registers the
+  subscription on the local engine only when no same-direction
+  subscription already covers it;
 * an event published at broker ``P`` is matched by ``P``'s engine and
   forwarded only toward neighbors that are the next hop of at least one
   matching subscription; every broker on the path re-matches with its
   own engine and delivers locally when it owns the subscriber.
 
-Every broker therefore filters with its *own* engine over the full
-subscription set, which is exactly the situation whose memory ceiling
-the paper analyses — :meth:`BrokerNetwork.memory_report` surfaces it.
+Every broker filters with its *own* engine over the routed subscription
+set, which is exactly the situation whose memory ceiling the paper
+analyses — :meth:`BrokerNetwork.memory_report` surfaces it, including
+the routing tables themselves.
 """
 
 from __future__ import annotations
@@ -33,7 +37,6 @@ from ..core.registry import EngineSpec
 from ..events.event import Event
 from ..events.schema import EventSchema
 from ..memory.model import SimulatedMachine
-from ..subscriptions.covering import covers
 from ..subscriptions.subscription import Subscription
 from .broker import (
     Broker,
@@ -44,6 +47,7 @@ from .broker import (
     stream_events,
 )
 from .handle import SubscriptionHandle
+from .routing import RoutingTable, RoutingTableStats
 from .sinks import DeliverySink
 
 
@@ -62,8 +66,32 @@ class NetworkStats:
     matches_computed: int = 0     # per-broker matching invocations (one
                                   # match_batch call counts one)
     notifications_delivered: int = 0
-    subscription_floods: int = 0  # broker-to-broker subscription transmissions
-    suppressed_registrations: int = 0  # covering-elided remote registrations
+    hops_visited: int = 0         # broker-to-broker subscription
+                                  # transmissions, suppressed or not
+    registrations_forwarded: int = 0   # remote engine registrations
+                                       # actually performed
+    suppressed_registrations: int = 0  # covering-elided remote
+                                       # registrations (incl. absorptions)
+    reinstated_registrations: int = 0  # orphans re-registered after
+                                       # their coverer withdrew
+
+    @property
+    def subscription_floods(self) -> int:
+        """Deprecated alias of :attr:`hops_visited`.
+
+        The old counter conflated transmissions with registrations —
+        suppressed hops were still counted as "floods".  Read
+        :attr:`hops_visited` for transmissions and
+        :attr:`registrations_forwarded` for registrations instead.
+        """
+        warnings.warn(
+            "NetworkStats.subscription_floods is deprecated; read "
+            "hops_visited (transmissions) or registrations_forwarded "
+            "(actual remote registrations)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.hops_visited
 
 
 class BrokerNetwork:
@@ -73,29 +101,42 @@ class BrokerNetwork:
     ----------
     covering_enabled:
         Apply subscription covering (Mühl & Fiege [14], see
-        :mod:`repro.subscriptions.covering`) during flooding: a remote
-        broker skips registering a new subscription when an
-        already-registered one with the **same next hop** covers it —
-        events for the covered subscription then ride the coverer's
-        forwarding.  The home broker always registers its own
-        subscriptions, so deliveries are unaffected; when a coverer is
-        withdrawn its covered subscriptions are reinstated.
+        :mod:`repro.subscriptions.covering_index`) during propagation —
+        **on by default**.  A remote broker's routing table skips
+        registering a new subscription when an already-registered one
+        with the **same next hop** covers it, and a late-arriving wide
+        subscription absorbs the narrower ones it covers.  The home
+        broker always registers its own subscriptions, so deliveries
+        are unaffected; when a coverer is withdrawn its covered
+        subscriptions are re-absorbed under surviving coverers and
+        reinstated only when none remains.
     """
 
-    def __init__(self, *, covering_enabled: bool = False) -> None:
+    def __init__(self, *, covering_enabled: bool = True) -> None:
         self._brokers: dict[str, Broker] = {}
         self._neighbors: dict[str, set[str]] = {}
-        #: per broker: subscription id -> neighbor toward the home broker
-        #: (``None`` for the home broker itself)
-        self._next_hop: dict[str, dict[int, str | None]] = {}
+        #: per broker: next hops + suppression state, one table each
+        self._routing: dict[str, RoutingTable] = {}
         #: subscription id -> home broker name
         self._home: dict[int, str] = {}
-        #: subscription id -> (expression, subscriber), for reinstatement
-        self._definitions: dict[int, tuple] = {}
-        #: per broker: covered subscription id -> covering subscription id
-        self._suppressed: dict[str, dict[int, int]] = {}
-        self.covering_enabled = covering_enabled
+        self._covering_enabled = covering_enabled
         self.stats = NetworkStats()
+
+    @property
+    def covering_enabled(self) -> bool:
+        """Whether new subscription arrivals may be suppressed.
+
+        Assignable at any time; the toggle propagates to every broker's
+        routing table and applies to *subsequent* arrivals (existing
+        suppressions stay honored until their entries are withdrawn).
+        """
+        return self._covering_enabled
+
+    @covering_enabled.setter
+    def covering_enabled(self, enabled: bool) -> None:
+        self._covering_enabled = enabled
+        for table in self._routing.values():
+            table.covering_enabled = enabled
 
     # ------------------------------------------------------------------
     # topology
@@ -129,8 +170,9 @@ class BrokerNetwork:
             raise TopologyError(f"broker {broker.name!r} already present")
         self._brokers[broker.name] = broker
         self._neighbors[broker.name] = set()
-        self._next_hop[broker.name] = {}
-        self._suppressed[broker.name] = {}
+        self._routing[broker.name] = RoutingTable(
+            broker, covering_enabled=self.covering_enabled
+        )
         return broker
 
     def connect(self, first: str, second: str) -> None:
@@ -176,6 +218,10 @@ class BrokerNetwork:
         """Neighbor names of a broker."""
         return frozenset(self._neighbors[self.broker(name).name])
 
+    def routing_table(self, name: str) -> RoutingTable:
+        """The routing table of one broker (next hops + suppression)."""
+        return self._routing[self.broker(name).name]
+
     # ------------------------------------------------------------------
     # subscription routing
     # ------------------------------------------------------------------
@@ -188,7 +234,7 @@ class BrokerNetwork:
         sink: DeliverySink | Callable[[Notification], None] | None = None,
         callback: Callable[[Notification], None] | None = None,
     ) -> SubscriptionHandle:
-        """Register at ``broker_name`` and flood to the whole overlay.
+        """Register at ``broker_name`` and propagate overlay-wide.
 
         Returns a :class:`~repro.broker.handle.SubscriptionHandle` that
         withdraws **network-wide** on ``unsubscribe()``; pausing it
@@ -213,57 +259,31 @@ class BrokerNetwork:
         handle._owner = self
         sid = handle.id
         self._home[sid] = home.name
-        self._next_hop[home.name][sid] = None
-        self._definitions[sid] = (handle.expression, handle.subscriber)
-        self._flood_subscription(home.name, handle.subscription)
+        self._routing[home.name].add_local(handle.subscription)
+        self._propagate_subscription(home.name, handle.subscription)
         return handle
 
-    def _flood_subscription(self, origin: str, subscription: Subscription) -> None:
-        sid = subscription.subscription_id
+    def _propagate_subscription(
+        self, origin: str, subscription: Subscription
+    ) -> None:
+        """Walk the overlay outward from ``origin``, entering the
+        subscription into every routing table (the tables decide whether
+        the local engine registers it or a coverer suppresses it)."""
         frontier = [(origin, neighbor) for neighbor in self._neighbors[origin]]
         while frontier:
             came_from, current = frontier.pop()
-            coverer = (
-                self._find_coverer(current, came_from, subscription.expression)
-                if self.covering_enabled
-                else None
-            )
-            self._next_hop[current][sid] = came_from
-            if coverer is not None:
-                self._suppressed[current][sid] = coverer
+            change = self._routing[current].add_remote(subscription, came_from)
+            self.stats.hops_visited += 1
+            if change.suppressed_by is not None:
                 self.stats.suppressed_registrations += 1
             else:
-                # remote registration: match-only, no local callback
-                self._brokers[current].subscribe(
-                    Subscription(
-                        expression=subscription.expression,
-                        subscriber=subscription.subscriber,
-                        subscription_id=sid,
-                    )
-                )
-            self.stats.subscription_floods += 1
+                self.stats.registrations_forwarded += 1
+                # a late-arriving wide subscription absorbs the narrow
+                # ones it covers: those count as suppressions too
+                self.stats.suppressed_registrations += len(change.absorbed)
             for neighbor in self._neighbors[current]:
                 if neighbor != came_from:
                     frontier.append((current, neighbor))
-
-    def _find_coverer(self, broker_name, direction, expression):
-        """A registered subscription at ``broker_name`` whose next hop is
-        ``direction`` and whose expression covers ``expression``.
-
-        The same-direction requirement is what makes suppression sound:
-        any event matching the covered subscription matches the coverer,
-        so the broker still forwards it toward ``direction`` — the covered
-        subscription's home lies that way too.
-        """
-        hops = self._next_hop[broker_name]
-        suppressed = self._suppressed[broker_name]
-        for candidate, hop in hops.items():
-            if hop != direction or candidate in suppressed:
-                continue
-            definition = self._definitions.get(candidate)
-            if definition is not None and covers(definition[0], expression):
-                return candidate
-        return None
 
     def unsubscribe(
         self, subscription: SubscriptionHandle | Subscription | int
@@ -272,36 +292,19 @@ class BrokerNetwork:
         id) everywhere.
 
         With covering enabled, subscriptions this one covered are
-        reinstated at every broker where it had absorbed them.
+        re-absorbed under surviving same-direction coverers where
+        possible and reinstated into the engines only where none
+        remains.
         """
         subscription_id = coerce_subscription_id(subscription)
         home = self._home.pop(subscription_id, None)
         if home is None:
             raise TopologyError(f"unknown subscription {subscription_id}")
-        for name, broker in self._brokers.items():
-            hops = self._next_hop[name]
-            suppressed = self._suppressed[name]
-            if subscription_id in hops:
-                if suppressed.pop(subscription_id, None) is None:
-                    broker.unsubscribe(subscription_id)
-                del hops[subscription_id]
-            # reinstate anything this subscription was covering here
-            orphans = [
-                covered
-                for covered, coverer in suppressed.items()
-                if coverer == subscription_id
-            ]
-            for covered in orphans:
-                del suppressed[covered]
-                expression, subscriber = self._definitions[covered]
-                broker.subscribe(
-                    Subscription(
-                        expression=expression,
-                        subscriber=subscriber,
-                        subscription_id=covered,
-                    )
-                )
-        self._definitions.pop(subscription_id, None)
+        for table in self._routing.values():
+            if subscription_id in table:
+                change = table.remove(subscription_id)
+                self.stats.reinstated_registrations += len(change.reinstated)
+                self.stats.suppressed_registrations += len(change.absorbed)
 
     # ------------------------------------------------------------------
     # event routing
@@ -363,9 +366,10 @@ class BrokerNetwork:
             broker.stats.events_published += 1
             if matched:
                 broker.stats.events_matched += 1
+            hops = self._routing[current].hops
             forward_to: set[str] = set()
             for sid in sorted(matched):
-                hop = self._next_hop[current].get(sid)
+                hop = hops.get(sid)
                 if hop is None:
                     # this broker is the subscription's home: deliver
                     # (None means the handle is paused — no delivery)
@@ -426,7 +430,7 @@ class BrokerNetwork:
             matched_sets = broker.engine.match_batch(subset)
             self.stats.matches_computed += 1
             broker.stats.events_published += len(subset)
-            next_hop = self._next_hop[current]
+            next_hop = self._routing[current].hops
             forward: dict[str, list[int]] = {}
             for index, matched in zip(indices, matched_sets):
                 if matched:
@@ -454,11 +458,41 @@ class BrokerNetwork:
     # resource reporting
     # ------------------------------------------------------------------
     def memory_report(self) -> dict[str, dict[str, int]]:
-        """Per-broker engine memory breakdowns (paper cost model)."""
+        """Per-broker memory breakdowns (paper cost model).
+
+        Engine components plus the broker's routing table, so the
+        overlay's full working set is visible in one report.
+        """
+        report = {}
+        for name, broker in self._brokers.items():
+            breakdown = dict(broker.engine.memory_breakdown())
+            breakdown["routing_table"] = self._routing[name].memory_bytes()
+            report[name] = breakdown
+        return report
+
+    def routing_report(self) -> dict[str, RoutingTableStats]:
+        """Per-broker routing-table shapes (entries, suppression)."""
         return {
-            name: dict(broker.engine.memory_breakdown())
-            for name, broker in self._brokers.items()
+            name: table.stats() for name, table in self._routing.items()
         }
+
+    def suppression_ratio(self) -> float:
+        """Fraction of remote routing-table entries currently suppressed.
+
+        Computed from live table state, not the cumulative counters
+        (absorption and reinstatement churn can suppress one entry many
+        times over its life), so the ratio is always in ``[0, 1]`` and
+        describes the compaction the overlay holds *right now*.
+        """
+        remote = 0
+        suppressed = 0
+        for table in self._routing.values():
+            shape = table.stats()
+            remote += shape.entries - shape.local
+            suppressed += shape.suppressed
+        if not remote:
+            return 0.0
+        return suppressed / remote
 
     def shard_report(self) -> dict[str, list[dict]]:
         """Per-broker, per-shard engine stats.
@@ -473,11 +507,22 @@ class BrokerNetwork:
 
     def memory_pressure(self) -> dict[str, float]:
         """Per-broker aggregated memory pressure (0.0 without a machine
-        model; sharded engines report the sum of their shards)."""
-        return {
-            name: broker.memory_pressure()
-            for name, broker in self._brokers.items()
-        }
+        model; sharded engines report the sum of their shards).
+
+        Includes the broker's routing table in the working set — the
+        overlay's own state competes for the same memory budget the
+        paper's cost model covers.
+        """
+        pressure = {}
+        for name, broker in self._brokers.items():
+            if broker.machine is None:
+                pressure[name] = 0.0
+            else:
+                pressure[name] = broker.memory_pressure() + (
+                    self._routing[name].memory_bytes()
+                    / broker.machine.available_bytes
+                )
+        return pressure
 
     def __len__(self) -> int:
         return len(self._brokers)

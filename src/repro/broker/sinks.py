@@ -147,9 +147,7 @@ class QueueSink(DeliverySink):
 
     def __repr__(self) -> str:
         bound = "∞" if self.maxsize is None else self.maxsize
-        return (
-            f"QueueSink(depth={self.depth}/{bound}, dropped={self.dropped})"
-        )
+        return f"QueueSink(depth={self.depth}/{bound}, dropped={self.dropped})"
 
 
 def as_sink(
@@ -160,6 +158,4 @@ def as_sink(
         return target
     if callable(target):
         return CallbackSink(target)
-    raise TypeError(
-        f"expected a DeliverySink, a callable, or None; got {target!r}"
-    )
+    raise TypeError(f"expected a DeliverySink, a callable, or None; got {target!r}")

@@ -31,7 +31,7 @@ from ..events.event import Event
 from ..indexes.manager import IndexManager
 from ..memory.cost_model import DEFAULT_COST_MODEL, CostModel
 from ..predicates.registry import PredicateRegistry
-from ..subscriptions.normal_forms import to_dnf
+from ..subscriptions.normal_forms import canonical_dnf
 from ..subscriptions.subscription import Subscription
 from .base import (
     FilterEngine,
@@ -98,7 +98,7 @@ class MatchingTreeEngine(FilterEngine):
         sid = subscription.subscription_id
         if sid in self._clauses:
             raise ValueError(f"subscription id {sid} already registered")
-        dnf = to_dnf(
+        dnf = canonical_dnf(
             subscription.expression,
             max_clauses=self._max_clauses,
             complement_operators=self._complement_operators,

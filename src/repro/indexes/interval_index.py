@@ -104,9 +104,16 @@ class IntervalIndex(PredicateIndex):
     def insert(self, operand: Any, predicate_id: int) -> None:
         low, high = operand
         if predicate_id in self._tombstones:
-            self._tombstones.discard(predicate_id)
-            if predicate_id in self._built and self._built[predicate_id] == (low, high):
+            if self._built.get(predicate_id) == (low, high):
+                # pure resurrection of the identical interval
+                self._tombstones.discard(predicate_id)
                 return
+            # the registry recycled this id for *different* bounds: the
+            # tombstone must keep masking the stale built entry while the
+            # new bounds ride the pending buffer until the next rebuild
+            self._pending[predicate_id] = (low, high)
+            self._maybe_rebuild()
+            return
         if predicate_id in self._built or predicate_id in self._pending:
             return
         self._pending[predicate_id] = (low, high)

@@ -28,7 +28,12 @@ from __future__ import annotations
 from ..predicates.operators import Operator
 from ..predicates.predicate import Predicate
 from .ast import BooleanExpression
-from .normal_forms import Clause, DnfExplosionError, to_dnf
+from .normal_forms import (
+    Clause,
+    DisjunctiveNormalForm,
+    DnfExplosionError,
+    canonical_dnf,
+)
 
 
 def _bounds(predicate: Predicate):
@@ -186,16 +191,30 @@ def covers(
 ) -> bool:
     """Sound (incomplete) covering test between Boolean expressions.
 
-    Both expressions are put into DNF; ``coverer`` covers ``covered``
-    when every clause of the covered DNF is covered by some clause of
-    the coverer's DNF.  Expressions whose DNF exceeds ``max_clauses``
-    conservatively return ``False``.
+    Both expressions are put into DNF (memoized — see
+    :func:`~repro.subscriptions.normal_forms.canonical_dnf`); ``coverer``
+    covers ``covered`` when every clause of the covered DNF is covered
+    by some clause of the coverer's DNF.  Expressions whose DNF exceeds
+    ``max_clauses`` conservatively return ``False``.
     """
     try:
-        coverer_dnf = to_dnf(coverer, max_clauses=max_clauses)
-        covered_dnf = to_dnf(covered, max_clauses=max_clauses)
+        coverer_dnf = canonical_dnf(coverer, max_clauses=max_clauses)
+        covered_dnf = canonical_dnf(covered, max_clauses=max_clauses)
     except DnfExplosionError:
         return False
+    return dnf_covers(coverer_dnf, covered_dnf)
+
+
+def dnf_covers(
+    coverer_dnf: DisjunctiveNormalForm,
+    covered_dnf: DisjunctiveNormalForm,
+) -> bool:
+    """The DNF-level covering test behind :func:`covers`.
+
+    Split out so callers that already hold both canonical DNFs (the
+    covering index keeps them per subscription) pay only the clause
+    comparison, never a re-derivation.
+    """
     for covered_clause in covered_dnf:
         if not any(
             clause_covers(coverer_clause, covered_clause)
@@ -221,27 +240,16 @@ def prune_covered(
 
     Routing tables keep only the maximal set; the mapping supports
     reinstating covered members when their coverer is removed.
-    """
-    ids = sorted(expressions)
-    covered_by: dict[int, int] = {}
-    for identifier in ids:
-        if identifier in covered_by:
-            continue
-        for other in ids:
-            if other == identifier or other in covered_by:
-                continue
-            if covers(
-                expressions[other], expressions[identifier],
-                max_clauses=max_clauses,
-            ):
-                covered_by[identifier] = other
-                break
-    # re-root chains so every covered id maps to a maximal coverer
-    def root_of(identifier: int) -> int:
-        while identifier in covered_by:
-            identifier = covered_by[identifier]
-        return identifier
 
-    covered_by = {key: root_of(value) for key, value in covered_by.items()}
-    maximal = {identifier for identifier in ids if identifier not in covered_by}
-    return maximal, covered_by
+    Implemented on the incremental
+    :class:`~repro.subscriptions.covering_index.CoveringIndex` — ids are
+    inserted in sorted order and the index's poset is the answer, so the
+    batch and incremental paths cannot drift apart.
+    """
+    # local import: covering_index builds on this module's primitives
+    from .covering_index import CoveringIndex
+
+    index = CoveringIndex(max_clauses=max_clauses)
+    for identifier in sorted(expressions):
+        index.add(identifier, expressions[identifier])
+    return set(index.maximal_ids()), dict(index.covered_mapping())

@@ -1,0 +1,546 @@
+"""Incremental covering poset over a subscription population.
+
+:class:`CoveringIndex` maintains, under ``add``/``remove`` churn, the
+partition of a subscription set into **maximal** members (covered by no
+other live member) and **covered** members (each mapped to one maximal
+coverer).  Broker routing tables keep only the maximal set registered;
+the mapping supports re-absorbing covered members when their coverer is
+withdrawn (Mühl & Fiege routing-table compaction, which the paper cites
+as [14]).
+
+What makes it cheap:
+
+* **cached canonical DNF** — each expression's DNF is derived once
+  (:func:`~repro.subscriptions.normal_forms.canonical_dnf`) and kept in
+  the per-id summary, so no :func:`~repro.subscriptions.covering.covers`
+  call ever re-derives a normal form;
+* **attribute-signature prefilter** — maximal ids are bucketed by their
+  *required attribute set* (attributes appearing in every DNF clause).
+  A coverer's required set is necessarily a subset of the covered
+  expression's required set, so whole buckets are skipped with one
+  frozenset comparison;
+* **operator-interval prefilter** — per attribute, each expression
+  carries an interval *hull* (coverer role) and per-clause intersection
+  hulls (covered role); containment between them is a necessary
+  condition of the layered covering test whenever the coverer
+  constrains the attribute in every clause, so band-structured corpora
+  (price bands, value ranges) resolve almost every candidate pair
+  without an exact clause-level test.
+
+Both prefilters are *necessary conditions* of the layered test in
+:mod:`repro.subscriptions.covering` — they never prune a pair the exact
+test would accept — so the index computes exactly the poset that
+pairwise ``covers()`` calls would, in ``o(N²)`` exact tests on corpora
+where the prefilters apply (the :attr:`CoveringIndex.covers_calls`
+counter is asserted against in ``benchmarks/test_network_routing.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..predicates.operators import Operator
+from . import normal_forms as _normal_forms
+from .ast import BooleanExpression
+from .covering import _bounds, _interval_contains, dnf_covers
+from .normal_forms import (
+    DisjunctiveNormalForm,
+    DnfExplosionError,
+    canonical_dnf,
+)
+
+#: Interval quadruple: (low, high, low_inclusive, high_inclusive) with
+#: ``None`` bounds meaning unbounded — the representation
+#: :func:`repro.subscriptions.covering._bounds` produces.
+Interval = tuple
+
+
+def _hull(first: Interval, second: Interval) -> Interval:
+    """Smallest interval containing both (the convex hull).
+
+    Raises ``TypeError`` on cross-domain bounds (string versus number);
+    callers treat that as "no usable interval summary".
+    """
+    a_low, a_high, a_incl, a_inch = first
+    b_low, b_high, b_incl, b_inch = second
+    if a_low is None or b_low is None:
+        low, incl = None, False
+    elif a_low < b_low or (a_low == b_low and a_incl):
+        low, incl = a_low, a_incl or (a_low == b_low and b_incl)
+    else:
+        low, incl = b_low, b_incl
+    if a_high is None or b_high is None:
+        high, inch = None, False
+    elif a_high > b_high or (a_high == b_high and a_inch):
+        high, inch = a_high, a_inch or (a_high == b_high and b_inch)
+    else:
+        high, inch = b_high, b_inch
+    return (low, high, incl, inch)
+
+
+def _intersect(first: Interval, second: Interval) -> Interval | None:
+    """Interval intersection; ``None`` when empty.
+
+    Raises ``TypeError`` on cross-domain bounds.
+    """
+    a_low, a_high, a_incl, a_inch = first
+    b_low, b_high, b_incl, b_inch = second
+    if a_low is None:
+        low, incl = b_low, b_incl
+    elif b_low is None or a_low > b_low:
+        low, incl = a_low, a_incl
+    elif a_low < b_low:
+        low, incl = b_low, b_incl
+    else:
+        low, incl = a_low, a_incl and b_incl
+    if a_high is None:
+        high, inch = b_high, b_inch
+    elif b_high is None or a_high < b_high:
+        high, inch = a_high, a_inch
+    elif a_high > b_high:
+        high, inch = b_high, b_inch
+    else:
+        high, inch = a_high, a_inch and b_inch
+    if low is not None and high is not None:
+        if low > high or (low == high and not (incl and inch)):
+            return None
+    return (low, high, incl, inch)
+
+
+def _pseudo_bounds(predicate) -> Interval | None:
+    """A value-set bounding interval for prefilter purposes.
+
+    Extends :func:`~repro.subscriptions.covering._bounds` with operators
+    whose value set still fits an interval envelope: ``IN`` (hull of the
+    alternatives) and boolean ``EQ`` (booleans order as 0/1).  Used only
+    on the *covered* side, where a tighter per-clause intersection makes
+    the necessary condition weaker, never stronger.
+    """
+    bounds = _bounds(predicate)
+    if bounds is not None:
+        return bounds
+    operator = predicate.operator
+    value = predicate.value
+    if operator is Operator.IN:
+        values = list(value)
+        try:
+            low, high = min(values), max(values)
+        except TypeError:
+            return None
+        return (low, high, True, True)
+    if operator is Operator.EQ and isinstance(value, bool):
+        return (value, value, True, True)
+    return None
+
+
+@dataclass(frozen=True)
+class _Summary:
+    """Everything the prefilters need about one expression, precomputed.
+
+    ``dnf`` is ``None`` when the canonical derivation exploded past the
+    clause cap — such ids are always maximal and never act as coverers
+    (the exact test conservatively answers ``False`` for them).
+    """
+
+    dnf: DisjunctiveNormalForm | None
+    #: attributes appearing in every DNF clause
+    required: frozenset
+    #: coverer role: attribute -> hull over all positive interval
+    #: literals, present only when *every* clause has at least one
+    hulls: Mapping[str, Interval]
+    #: covered role: attribute -> hull of per-clause intersection
+    #: intervals (``None`` value = unusable, prefilter must pass)
+    clause_hulls: Mapping[str, Interval | None]
+
+
+#: (expression, max_clauses) -> _Summary, LRU order.  One subscription
+#: propagating across a B-broker overlay enters B-1 covering indexes;
+#: the summary (like the DNF underneath it) is a pure function of the
+#: expression, so it is computed once, not once per broker.
+_summary_cache: "dict[tuple[BooleanExpression, int], _Summary]" = {}
+_SUMMARY_CACHE_LIMIT = 16_384
+
+# summaries retain DNF objects: clear them whenever the DNF memo clears
+_normal_forms._dependent_cache_clearers.append(_summary_cache.clear)
+
+
+def summarize(expression: BooleanExpression, *, max_clauses: int) -> _Summary:
+    """Build (or recall) the prefilter summary of one expression."""
+    key = (expression, max_clauses)
+    cached = _summary_cache.get(key)
+    if cached is not None:
+        _summary_cache[key] = _summary_cache.pop(key)  # refresh LRU slot
+        return cached
+    summary = _summarize(expression, max_clauses=max_clauses)
+    _summary_cache[key] = summary
+    if len(_summary_cache) > _SUMMARY_CACHE_LIMIT:
+        _summary_cache.pop(next(iter(_summary_cache)))
+    return summary
+
+
+def _summarize(expression: BooleanExpression, *, max_clauses: int) -> _Summary:
+    try:
+        dnf = canonical_dnf(expression, max_clauses=max_clauses)
+    except DnfExplosionError:
+        return _Summary(None, frozenset(), {}, {})
+    attribute_sets = []
+    for clause in dnf:
+        attribute_sets.append(
+            frozenset(literal.predicate.attribute for literal in clause)
+        )
+    required = frozenset.intersection(*attribute_sets)
+    hulls: dict[str, Interval] = {}
+    clause_hulls: dict[str, Interval | None] = {}
+    for attribute in required:
+        coverer_hull: Interval | None = None
+        covered_hull: Interval | None = None
+        tight = True          # every clause has a positive interval literal
+        usable = True         # no cross-domain TypeError anywhere
+        for clause in dnf:
+            clause_interval: Interval | None = None
+            clause_nonempty = True
+            has_interval_literal = False
+            for literal in clause:
+                if literal.predicate.attribute != attribute:
+                    continue
+                if not literal.positive:
+                    continue
+                exact = _bounds(literal.predicate)
+                if exact is not None:
+                    has_interval_literal = True
+                    if coverer_hull is None:
+                        coverer_hull = exact
+                    else:
+                        try:
+                            coverer_hull = _hull(coverer_hull, exact)
+                        except TypeError:
+                            usable = False
+                            break
+                pseudo = exact or _pseudo_bounds(literal.predicate)
+                if pseudo is not None and clause_nonempty:
+                    if clause_interval is None:
+                        clause_interval = pseudo
+                    else:
+                        try:
+                            clause_interval = _intersect(clause_interval, pseudo)
+                        except TypeError:
+                            usable = False
+                            break
+                        if clause_interval is None:
+                            clause_nonempty = False
+            if not usable:
+                break
+            if not has_interval_literal:
+                tight = False
+            if clause_nonempty and clause_interval is None:
+                # no positive interval-able literal: the clause admits
+                # any value, so the covered-role hull is unbounded
+                clause_interval = (None, None, False, False)
+            if clause_nonempty:
+                if covered_hull is None:
+                    covered_hull = clause_interval
+                else:
+                    try:
+                        covered_hull = _hull(covered_hull, clause_interval)
+                    except TypeError:
+                        usable = False
+                        break
+        if not usable:
+            clause_hulls[attribute] = None
+            continue
+        if tight and coverer_hull is not None:
+            hulls[attribute] = coverer_hull
+        # covered_hull None here means every clause was empty on this
+        # attribute (unsatisfiable): contained in anything
+        clause_hulls[attribute] = covered_hull or "empty"
+    return _Summary(dnf, required, hulls, clause_hulls)
+
+
+def _hull_fits(coverer: _Summary, covered: _Summary) -> bool:
+    """Operator-interval prefilter: necessary containment per attribute."""
+    for attribute, outer in coverer.hulls.items():
+        inner = covered.clause_hulls.get(attribute)
+        if inner is None:
+            continue          # unusable summary on that attribute: pass
+        if inner == "empty":
+            continue          # vacuously contained
+        try:
+            if not _interval_contains(outer, inner):
+                return False
+        except TypeError:
+            continue
+    return True
+
+
+@dataclass(frozen=True)
+class AddOutcome:
+    """What :meth:`CoveringIndex.add` changed.
+
+    ``covered_by`` is set when the new id arrived already covered by a
+    live maximal member.  ``newly_covered`` lists previously-maximal ids
+    the new member absorbed (their covered subtrees re-root to the new
+    id as well) — a routing table unregisters exactly these.
+    """
+
+    identifier: int
+    covered_by: int | None = None
+    newly_covered: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class RemoveOutcome:
+    """What :meth:`CoveringIndex.remove` changed.
+
+    ``reabsorbed`` maps orphans that found another live coverer to that
+    coverer (they stay suppressed); ``newly_exposed`` lists orphans
+    promoted to maximal — a routing table reinstates exactly these.
+    ``absorbed`` lists *pre-existing* maximal members a promoted orphan
+    turned out to cover (the layered test can miss transitive relations
+    at add time and see them on re-check) — a routing table unregisters
+    exactly these.
+    """
+
+    identifier: int
+    was_covered: bool
+    coverer: int | None = None
+    reabsorbed: Mapping[int, int] = field(default_factory=dict)
+    newly_exposed: tuple[int, ...] = ()
+    absorbed: tuple[int, ...] = ()
+
+
+class CoveringIndex:
+    """The covering partial order, maintained incrementally.
+
+    Parameters
+    ----------
+    max_clauses:
+        Clause cap forwarded to the canonical-DNF derivation; the same
+        conservative-false semantics as
+        :func:`~repro.subscriptions.covering.covers`.
+    """
+
+    def __init__(self, *, max_clauses: int = 4_096) -> None:
+        self.max_clauses = max_clauses
+        self._summaries: dict[int, _Summary] = {}
+        self._covered_by: dict[int, int] = {}
+        self._children: dict[int, set[int]] = {}
+        self._maximal: set[int] = set()
+        #: maximal ids with a usable DNF, bucketed by required-attribute
+        #: signature — the unit the signature prefilter skips.  Each
+        #: bucket is kept sorted (candidate scans are deterministic
+        #: without re-sorting on every add/remove).
+        self._buckets: dict[frozenset, list[int]] = {}
+        #: exact clause-level covering tests performed (the o(N²) claim)
+        self.covers_calls = 0
+        #: candidate ids discarded by the signature prefilter
+        self.signature_pruned = 0
+        #: candidate ids discarded by the interval prefilter
+        self.interval_pruned = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def __contains__(self, identifier: int) -> bool:
+        return identifier in self._summaries
+
+    def maximal_ids(self) -> frozenset:
+        """Ids covered by no other live member."""
+        return frozenset(self._maximal)
+
+    def covered_mapping(self) -> dict[int, int]:
+        """Covered id -> its (maximal) coverer."""
+        return dict(self._covered_by)
+
+    def covered_count(self) -> int:
+        """Number of covered ids (no mapping materialization)."""
+        return len(self._covered_by)
+
+    def coverer_of(self, identifier: int) -> int | None:
+        """The id suppressing ``identifier``, or ``None`` if maximal."""
+        return self._covered_by.get(identifier)
+
+    def is_covered(self, identifier: int) -> bool:
+        """Whether ``identifier`` is currently covered."""
+        return identifier in self._covered_by
+
+    def ids(self) -> Iterator[int]:
+        """Every live id."""
+        return iter(self._summaries)
+
+    def prefilter_stats(self) -> dict[str, int]:
+        """Work counters: exact tests performed versus candidates pruned."""
+        return {
+            "covers_calls": self.covers_calls,
+            "signature_pruned": self.signature_pruned,
+            "interval_pruned": self.interval_pruned,
+        }
+
+    # ------------------------------------------------------------------
+    # the exact test (counted)
+    # ------------------------------------------------------------------
+    def _covers(self, coverer: _Summary, covered: _Summary) -> bool:
+        if coverer.dnf is None or covered.dnf is None:
+            return False
+        self.covers_calls += 1
+        return dnf_covers(coverer.dnf, covered.dnf)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, identifier: int, expression: BooleanExpression) -> AddOutcome:
+        """Insert one member and restitch the poset around it.
+
+        Never rescans the full set: candidate coverers come from the
+        signature buckets, and only *maximal* ids are tested in either
+        direction (covered ids already ride their coverer).
+        """
+        if identifier in self._summaries:
+            raise ValueError(f"id {identifier} already present")
+        summary = summarize(expression, max_clauses=self.max_clauses)
+        self._summaries[identifier] = summary
+        coverer = self._find_coverer(summary, exclude=identifier)
+        if coverer is not None:
+            self._covered_by[identifier] = coverer
+            self._children.setdefault(coverer, set()).add(identifier)
+            return AddOutcome(identifier, covered_by=coverer)
+        # the new member is maximal: see whether it absorbs any current
+        # maximal members (later-arriving wide subscriptions compact the
+        # table retroactively)
+        absorbed = tuple(
+            sorted(self._find_covered(summary, exclude=identifier))
+        )
+        self._set_maximal(identifier, summary)
+        for victim in absorbed:
+            self._absorb(victim, into=identifier)
+        return AddOutcome(identifier, newly_covered=absorbed)
+
+    def _absorb(self, victim: int, *, into: int) -> None:
+        """Demote a maximal ``victim`` under coverer ``into``, re-rooting
+        its covered subtree (sound by transitivity of semantic covering:
+        ``into`` ⊇ ``victim`` ⊇ each child)."""
+        self._unset_maximal(victim, self._summaries[victim])
+        self._covered_by[victim] = into
+        children = self._children.pop(victim, set())
+        subtree = self._children.setdefault(into, set())
+        subtree.add(victim)
+        for child in children:
+            self._covered_by[child] = into
+            subtree.add(child)
+
+    def remove(self, identifier: int) -> RemoveOutcome:
+        """Withdraw one member, re-absorbing its orphans where possible.
+
+        Orphans of a removed maximal member first look for another live
+        coverer (they stay covered, under new ownership); only those
+        with none are promoted to maximal — and a promoted orphan can
+        itself re-absorb later orphans of the same removal.
+        """
+        summary = self._summaries.pop(identifier, None)
+        if summary is None:
+            raise KeyError(f"id {identifier} not present")
+        coverer = self._covered_by.pop(identifier, None)
+        if coverer is not None:
+            self._children[coverer].discard(identifier)
+            return RemoveOutcome(identifier, was_covered=True, coverer=coverer)
+        self._unset_maximal(identifier, summary)
+        orphans = sorted(self._children.pop(identifier, ()))
+        reabsorbed: dict[int, int] = {}
+        newly_exposed: list[int] = []
+        absorbed: list[int] = []
+        for orphan in orphans:
+            del self._covered_by[orphan]
+            orphan_summary = self._summaries[orphan]
+            new_coverer = self._find_coverer(orphan_summary, exclude=orphan)
+            if new_coverer is not None:
+                self._covered_by[orphan] = new_coverer
+                self._children.setdefault(new_coverer, set()).add(orphan)
+                reabsorbed[orphan] = new_coverer
+                continue
+            # promote — with the same absorb step add() performs, so a
+            # wide orphan re-covers its earlier-promoted siblings (and
+            # any maximal the layered test only now relates to it)
+            victims = self._find_covered(orphan_summary, exclude=orphan)
+            self._set_maximal(orphan, orphan_summary)
+            for victim in victims:
+                self._absorb(victim, into=orphan)
+                if victim in newly_exposed:
+                    newly_exposed.remove(victim)
+                    reabsorbed[victim] = orphan
+                else:
+                    absorbed.append(victim)
+            newly_exposed.append(orphan)
+        return RemoveOutcome(
+            identifier,
+            was_covered=False,
+            reabsorbed=reabsorbed,
+            newly_exposed=tuple(newly_exposed),
+            absorbed=tuple(absorbed),
+        )
+
+    # ------------------------------------------------------------------
+    # poset bookkeeping
+    # ------------------------------------------------------------------
+    def _set_maximal(self, identifier: int, summary: _Summary) -> None:
+        self._maximal.add(identifier)
+        if summary.dnf is not None:
+            bisect.insort(
+                self._buckets.setdefault(summary.required, []), identifier
+            )
+
+    def _unset_maximal(self, identifier: int, summary: _Summary) -> None:
+        self._maximal.discard(identifier)
+        if summary.dnf is not None:
+            bucket = self._buckets.get(summary.required)
+            if bucket is not None:
+                bucket.remove(identifier)
+                if not bucket:
+                    del self._buckets[summary.required]
+
+    # ------------------------------------------------------------------
+    # candidate search
+    # ------------------------------------------------------------------
+    def _find_coverer(self, covered: _Summary, *, exclude: int) -> int | None:
+        """A live maximal id whose expression covers ``covered``."""
+        if covered.dnf is None:
+            return None
+        for signature, bucket in self._buckets.items():
+            # a coverer's required attributes are a subset of the
+            # covered expression's (necessary for the layered test)
+            if not signature <= covered.required:
+                self.signature_pruned += len(bucket)
+                continue
+            for candidate in bucket:
+                if candidate == exclude:
+                    continue
+                summary = self._summaries[candidate]
+                if not _hull_fits(summary, covered):
+                    self.interval_pruned += 1
+                    continue
+                if self._covers(summary, covered):
+                    return candidate
+        return None
+
+    def _find_covered(self, coverer: _Summary, *, exclude: int) -> list[int]:
+        """Live maximal ids that ``coverer`` covers."""
+        if coverer.dnf is None:
+            return []
+        found: list[int] = []
+        for signature, bucket in self._buckets.items():
+            if not coverer.required <= signature:
+                self.signature_pruned += len(bucket)
+                continue
+            for candidate in bucket:
+                if candidate == exclude:
+                    continue
+                summary = self._summaries[candidate]
+                if not _hull_fits(coverer, summary):
+                    self.interval_pruned += 1
+                    continue
+                if self._covers(coverer, summary):
+                    found.append(candidate)
+        return found

@@ -69,15 +69,15 @@ class BasicTreeCodec:
         out = bytearray((int(node.kind), len(node.children)))
         for child in encoded_children:
             if len(child) > MAX_CHILD_WIDTH:
-                raise EncodingError(
-                    f"child width {len(child)} exceeds 2 bytes"
-                )
+                raise EncodingError(f"child width {len(child)} exceeds 2 bytes")
             out += len(child).to_bytes(2, "big")
         for child in encoded_children:
             out += child
         return out
 
-    def decode(self, buffer: bytes, offset: int = 0, width: int | None = None) -> SubscriptionTree:
+    def decode(
+        self, buffer: bytes, offset: int = 0, width: int | None = None
+    ) -> SubscriptionTree:
         """Deserialize the tree stored at ``buffer[offset:offset+width]``."""
         if width is None:
             width = len(buffer) - offset
@@ -283,7 +283,9 @@ class VarintTreeCodec:
         for child in node.children:
             self._encode_node(child, out)
 
-    def decode(self, buffer: bytes, offset: int = 0, width: int | None = None) -> SubscriptionTree:
+    def decode(
+        self, buffer: bytes, offset: int = 0, width: int | None = None
+    ) -> SubscriptionTree:
         node, end = self._decode_node(buffer, offset)
         if width is not None and end - offset != width:
             raise CorruptEncodingError(

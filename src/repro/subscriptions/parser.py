@@ -39,7 +39,10 @@ class SubscriptionSyntaxError(ValueError):
 
     def __init__(self, message: str, position: int, text: str) -> None:
         pointer = text[:position].count("\n")
-        super().__init__(f"{message} (at offset {position}): ...{text[position:position + 20]!r}")
+        super().__init__(
+            f"{message} (at offset {position}): "
+            f"...{text[position:position + 20]!r}"
+        )
         self.position = position
         self.line = pointer + 1
 
@@ -52,8 +55,17 @@ class _Token:
 
 
 _KEYWORDS = {
-    "and", "or", "not", "between", "in", "exists",
-    "prefix", "suffix", "contains", "true", "false",
+    "and",
+    "or",
+    "not",
+    "between",
+    "in",
+    "exists",
+    "prefix",
+    "suffix",
+    "contains",
+    "true",
+    "false",
 }
 
 _TOKEN_RE = re.compile(
@@ -215,7 +227,9 @@ class _Parser:
             operand = self._expect("string").value
             operator = Operator(token.value)
             return PredicateLeaf(Predicate(attribute, operator, operand))
-        if token.kind == "symbol" and token.value in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+        if token.kind == "symbol" and token.value in (
+            "=", "==", "!=", "<>", "<", "<=", ">", ">="
+        ):
             self._advance()
             operator = Operator.from_symbol(token.value)
             return PredicateLeaf(Predicate(attribute, operator, self._value()))

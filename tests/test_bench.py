@@ -166,9 +166,35 @@ class TestRunner:
             "shard-scaling",
             "skew",
             "churn",
+            "network-line",
+            "network-star",
+            "network-tree",
+            "network-random",
         }
         # a shard point beyond the unsharded baseline is present
         assert any(record.shards > 1 for record in report.records)
+
+    def test_network_records_carry_routing_metrics(self, report):
+        network = [
+            record
+            for record in report.records
+            if record.scenario.startswith("network-")
+        ]
+        assert {record.scenario for record in network} == {
+            "network-line",
+            "network-star",
+            "network-tree",
+            "network-random",
+        }
+        for record in network:
+            assert 0.0 <= record.metrics["suppression_ratio"] <= 1.0
+            assert record.metrics["registrations_per_broker"] > 0
+            assert record.metrics["flooding_events_per_second"] > 0
+            # covering compacts the tables relative to flooding
+            assert (
+                record.metrics["registrations_per_broker"]
+                <= record.metrics["flooding_registrations_per_broker"]
+            )
 
     def test_throughput_records_cover_every_batch_size(self, report):
         for engine in ("noncanonical", "counting"):

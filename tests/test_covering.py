@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.predicates import Operator, Predicate
 from repro.subscriptions import parse
@@ -135,6 +138,104 @@ class TestClauseAndExpressionCovers:
     def test_soundness_on_random_expressions(self, coverer, covered, event):
         if covers(coverer, covered) and covered.matches(event):
             assert coverer.matches(event)
+
+    @given(
+        random_expressions(max_leaves=4),
+        random_expressions(max_leaves=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_soundness_on_events_targeting_the_covered_side(
+        self, coverer, covered, seed
+    ):
+        """The routing property, stated positively: when ``covers(a, b)``
+        every event *generated to match b* must match ``a``.
+
+        Uniform random events rarely satisfy a conjunction, so the plain
+        random-event property exercises the implication's vacuous branch
+        most of the time; this variant synthesizes witnesses from the
+        covered expression's own DNF clauses.
+        """
+        if not covers(coverer, covered):
+            return
+        for clause_index, event in enumerate(
+            satisfying_events(covered, seed=seed)
+        ):
+            if covered.matches(event):
+                assert coverer.matches(event), (clause_index, dict(event))
+
+
+def satisfying_events(expression, *, seed: int, per_clause: int = 3):
+    """Candidate witnesses for an expression, one batch per DNF clause.
+
+    Each event assigns every positive literal of one clause a value
+    satisfying it (negative literals simply omit extra attributes, which
+    satisfies ``NOT p`` under absent-attribute semantics unless the
+    positive literals pin the attribute — those events fail the
+    ``covered.matches`` guard and are skipped by the caller).
+    """
+    from repro.events import Event
+
+    rng = random.Random(seed)
+    try:
+        dnf = to_dnf(expression, max_clauses=64)
+    except Exception:
+        return
+    for clause in dnf:
+        for _ in range(per_clause):
+            attributes = {}
+            feasible = True
+            for literal in clause:
+                if not literal.positive:
+                    continue
+                predicate = literal.predicate
+                value = _satisfying_value(predicate, rng)
+                if value is _INFEASIBLE:
+                    feasible = False
+                    break
+                existing = attributes.get(predicate.attribute, _INFEASIBLE)
+                if existing is not _INFEASIBLE and existing != value:
+                    # conflicting requirements: try the event anyway with
+                    # the first value; the matches() guard filters it
+                    continue
+                attributes[predicate.attribute] = value
+            if feasible and attributes:
+                yield Event(attributes)
+
+
+_INFEASIBLE = object()
+
+
+def _satisfying_value(predicate, rng):
+    operator, value = predicate.operator, predicate.value
+    if operator is Operator.EQ:
+        return value
+    if operator is Operator.NE:
+        return (value + 1) if isinstance(value, (int, float)) else f"{value}x"
+    if operator is Operator.LT:
+        return value - 1 if isinstance(value, (int, float)) else _INFEASIBLE
+    if operator is Operator.LE:
+        return value
+    if operator is Operator.GT:
+        return value + 1 if isinstance(value, (int, float)) else _INFEASIBLE
+    if operator is Operator.GE:
+        return value
+    if operator is Operator.BETWEEN:
+        low, high = value
+        if isinstance(low, (int, float)) and not isinstance(low, bool):
+            return low + rng.random() * (high - low) if high > low else low
+        return low
+    if operator is Operator.IN:
+        return rng.choice(sorted(value, key=repr))
+    if operator is Operator.PREFIX:
+        return value + "tail"
+    if operator is Operator.SUFFIX:
+        return "head" + value
+    if operator is Operator.CONTAINS:
+        return f"a{value}b"
+    if operator is Operator.EXISTS:
+        return 1
+    return _INFEASIBLE
 
 
 class TestPruneCovered:

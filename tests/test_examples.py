@@ -63,6 +63,9 @@ def test_broker_network():
     out = run_example("broker_network.py")
     assert "subscriptions registered across the overlay" in out
     assert "pruned routing" in out
+    assert "suppression ratio" in out
+    assert "routing_table=" in out
+    assert "suppressed)" in out
     assert "memory_pressure" in out
     assert "busiest subscriber" in out
 

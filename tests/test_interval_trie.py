@@ -45,6 +45,35 @@ class TestIntervalIndex:
         assert index.remove((1, 10), 1)
         assert set(index.match(5)) == set()
 
+    def test_recycled_id_with_new_bounds_after_rebuild(self):
+        """Regression: a predicate id freed by the registry and recycled
+        for *different* bounds must not resurrect the stale interval.
+
+        Before the fix, insert() discarded the tombstone and dropped the
+        new bounds, so the old built interval answered stabbing queries
+        under the recycled id (covering-absorption churn exposed this
+        through wrong remote deliveries)."""
+        index = IntervalIndex()
+        index.insert((128, 594), 7)
+        index.rebuild()                       # (128, 594) lands in the tree
+        assert index.remove((128, 594), 7)    # tombstoned, not rebuilt
+        index.insert((200, 247), 7)           # id recycled, new bounds
+        assert set(index.match(424)) == set()     # stale interval masked
+        assert set(index.match(210)) == {7}       # new bounds live
+        assert len(index) == 1
+        index.rebuild()                       # integration keeps new bounds
+        assert set(index.match(424)) == set()
+        assert set(index.match(210)) == {7}
+
+    def test_recycled_id_identical_bounds_resurrects(self):
+        index = IntervalIndex()
+        index.insert((10, 20), 3)
+        index.rebuild()
+        assert index.remove((10, 20), 3)
+        index.insert((10, 20), 3)
+        assert set(index.match(15)) == {3}
+        assert len(index) == 1
+
     def test_rebuild_triggered_by_churn(self):
         index = IntervalIndex(rebuild_fraction=0.25)
         for i in range(100):

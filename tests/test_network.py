@@ -67,7 +67,15 @@ class TestSubscriptionFlooding:
         network.subscribe("a", "x = 1", subscriber="alice")
         for name in "abcd":
             assert network.broker(name).subscription_count == 1
-        assert network.stats.subscription_floods == 3
+        assert network.stats.hops_visited == 3
+        assert network.stats.registrations_forwarded == 3
+
+    def test_subscription_floods_is_a_deprecated_alias(self):
+        network = linear_network("a", "b", "c")
+        network.subscribe("a", "x = 1")
+        with pytest.warns(DeprecationWarning, match="hops_visited"):
+            assert network.stats.subscription_floods == 2
+        assert network.stats.subscription_floods == network.stats.hops_visited
 
     def test_unsubscribe_cleans_everywhere(self):
         network = linear_network("a", "b", "c")
@@ -179,4 +187,5 @@ class TestNetworkAccounting:
         assert stats.events_published == 1
         assert stats.matches_computed == 2
         assert stats.notifications_delivered == 1
-        assert stats.subscription_floods == 1
+        assert stats.hops_visited == 1
+        assert stats.registrations_forwarded == 1

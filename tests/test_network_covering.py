@@ -4,9 +4,18 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.broker import Broker, BrokerNetwork
+from repro.core.registry import engine_names
 from repro.events import Event
-from repro.workloads import StockScenario
+from repro.workloads import (
+    NetworkChurnScenario,
+    StockScenario,
+    make_topology,
+)
+
+TOPOLOGY_NAMES = ("line", "star", "tree", "random")
 
 
 def chain(covering=True, names=("a", "b", "c", "d")):
@@ -100,8 +109,186 @@ class TestReinstatement:
         assert [n.subscriber for n in deliveries] == ["wide"]
         # no dangling state
         for name in "abcd":
-            assert narrow.subscription_id not in network._next_hop[name]
-            assert narrow.subscription_id not in network._suppressed[name]
+            table = network.routing_table(name)
+            assert narrow.subscription_id not in table
+            assert narrow.subscription_id not in table.suppressed()
+
+
+class TestAbsorption:
+    def test_late_wide_subscription_absorbs_registered_narrow(self):
+        network = chain()
+        narrow = network.subscribe("a", "x > 5", subscriber="narrow")
+        assert network.broker("d").subscription_count == 1
+        wide = network.subscribe("a", "x > 0", subscriber="wide")
+        # the wide arrival absorbed the narrow one at every remote hop
+        for name in "bcd":
+            assert network.broker(name).subscription_count == 1
+            table = network.routing_table(name)
+            assert table.is_suppressed(narrow.subscription_id)
+            assert not table.is_suppressed(wide.subscription_id)
+            assert table.suppressed() == {
+                narrow.subscription_id: wide.subscription_id
+            }
+        # both still live at home, deliveries unaffected
+        assert network.broker("a").subscription_count == 2
+        deliveries = network.publish("d", Event({"x": 9}))
+        assert {n.subscriber for n in deliveries} == {"narrow", "wide"}
+
+    def test_suppression_ratio_stays_bounded_under_absorb_cycles(self):
+        """Regression: the ratio reflects live table state, so repeated
+        absorb/reinstate cycles (which re-count suppressions in the
+        cumulative counters) cannot push it past 1.0."""
+        network = chain(names=("a", "b"))
+        for low in (0, 10, 20):
+            network.subscribe(
+                "a", f"x between [{low}, {low + 5}]", subscriber=f"band{low}"
+            )
+        for _ in range(5):
+            wide = network.subscribe("a", "x >= 0", subscriber="wide")
+            assert 0.0 <= network.suppression_ratio() <= 1.0
+            network.unsubscribe(wide)
+            assert network.suppression_ratio() == 0.0
+        assert network.stats.reinstated_registrations == 15
+
+    def test_reabsorption_under_surviving_coverer(self):
+        network = chain()
+        wide_a = network.subscribe("a", "x >= 0", subscriber="wide-a")
+        network.subscribe("a", "x > 0", subscriber="wide-b")
+        network.subscribe("a", "x > 5", subscriber="narrow")
+        # withdraw the top coverer: the narrow subscription must ride
+        # the surviving wide-b instead of flooding back out
+        network.unsubscribe(wide_a)
+        for name in "bcd":
+            assert network.broker(name).subscription_count == 1
+            assert len(network.routing_table(name).suppressed()) == 1
+        deliveries = network.publish("d", Event({"x": 9}))
+        assert {n.subscriber for n in deliveries} == {"wide-b", "narrow"}
+
+
+def _assert_routing_invariants(network):
+    """Suppressed ⇒ a live, engine-registered, same-direction coverer."""
+    for broker in network.brokers():
+        table = network.routing_table(broker.name)
+        registered = {
+            handle.subscription_id for handle in broker.handles()
+        }
+        for covered, coverer in table.suppressed().items():
+            assert covered in table and coverer in table
+            assert table.next_hop(covered) == table.next_hop(coverer)
+            assert table.next_hop(covered) is not None
+            assert not table.is_suppressed(coverer)
+            assert coverer in registered
+            assert covered not in registered
+        # every unsuppressed routed subscription is engine-registered
+        for sid in table.hops:
+            if not table.is_suppressed(sid):
+                assert sid in registered
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("topology_name", TOPOLOGY_NAMES)
+    def test_churn_parity_and_invariants(self, topology_name):
+        """Delivery parity vs flooding plus table invariants, under
+        subscribe/unsubscribe churn, on every topology."""
+        topology = make_topology(topology_name, 6, seed=1)
+        networks = {
+            mode: topology.build(BrokerNetwork(covering_enabled=mode))
+            for mode in (True, False)
+        }
+        scenario = NetworkChurnScenario(seed=2)
+        ops = list(scenario.ops(60, topology.brokers))
+        traces = {}
+        for mode, network in networks.items():
+            traces[mode] = NetworkChurnScenario.apply(network, ops)
+            if mode:
+                _assert_routing_invariants(network)
+        assert traces[True] == traces[False]
+        covering = networks[True]
+        assert covering.stats.suppressed_registrations > 0
+        assert 0.0 < covering.suppression_ratio() <= 1.0
+        # compaction is real: fewer engine registrations than flooding
+        assert sum(
+            b.subscription_count for b in covering.brokers()
+        ) < sum(b.subscription_count for b in networks[False].brokers())
+
+    @pytest.mark.parametrize("engine", engine_names())
+    def test_delivery_parity_per_engine(self, engine):
+        """Covering on/off deliver identically for every engine, on
+        every topology."""
+        scenario = NetworkChurnScenario(seed=4)
+        subscriptions = scenario.subscriptions(18)
+        events = [scenario.event() for _ in range(40)]
+        for topology_name in TOPOLOGY_NAMES:
+            topology = make_topology(topology_name, 5, seed=3)
+            placement = random.Random(11)
+            homes = [
+                placement.choice(topology.brokers) for _ in subscriptions
+            ]
+            networks = {}
+            for mode in (True, False):
+                network = topology.build(
+                    BrokerNetwork(covering_enabled=mode), engine=engine
+                )
+                for home, subscription in zip(homes, subscriptions):
+                    network.subscribe(home, subscription)
+                networks[mode] = network
+            for index, event in enumerate(events):
+                origin = topology.brokers[index % len(topology.brokers)]
+                got = {
+                    (n.subscriber, n.subscription_id, n.broker)
+                    for n in networks[True].publish(origin, event)
+                }
+                expected = {
+                    (n.subscriber, n.subscription_id, n.broker)
+                    for n in networks[False].publish(origin, event)
+                }
+                assert got == expected, (topology_name, engine, index)
+            for network in networks.values():
+                for broker in network.brokers():
+                    broker.engine.close()
+
+
+class TestCoveringToggle:
+    def test_toggle_after_construction_applies_to_new_arrivals(self):
+        """Regression: covering_enabled is live, not a construction-time
+        snapshot captured by each broker's routing table."""
+        network = chain(covering=False)
+        network.covering_enabled = True
+        network.subscribe("a", "x > 0", subscriber="wide")
+        network.subscribe("a", "x > 5", subscriber="narrow")
+        assert network.stats.suppressed_registrations == 3
+        # disabling mid-life floods new arrivals but leaves existing
+        # suppressions consistent (withdrawal paths still work)
+        network.covering_enabled = False
+        tight = network.subscribe("a", "x > 7", subscriber="tight")
+        assert network.stats.suppressed_registrations == 3
+        for name in "bcd":
+            assert not network.routing_table(name).is_suppressed(
+                tight.subscription_id
+            )
+        network.unsubscribe(tight)
+        deliveries = network.publish("d", Event({"x": 9}))
+        assert {n.subscriber for n in deliveries} == {"wide", "narrow"}
+
+
+class TestRoutingReports:
+    def test_memory_report_includes_routing_tables(self):
+        network = chain()
+        network.subscribe("a", "x > 0")
+        report = network.memory_report()
+        for name in "abcd":
+            assert report[name]["routing_table"] > 0
+
+    def test_routing_report_shapes(self):
+        network = chain()
+        network.subscribe("a", "x > 0", subscriber="wide")
+        network.subscribe("a", "x > 5", subscriber="narrow")
+        report = network.routing_report()
+        assert report["a"].local == 2 and report["a"].suppressed == 0
+        for name in "bcd":
+            assert report[name].entries == 2
+            assert report[name].registered == 1
+            assert report[name].suppressed == 1
 
 
 class TestEquivalenceUnderChurn:
