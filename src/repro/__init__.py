@@ -48,12 +48,15 @@ from .broker import (
 )
 from .core import (
     ENGINES,
+    BitLayout,
+    Bitmap,
     BruteForceEngine,
     CountingEngine,
     CountingVariantEngine,
     DiskTreeStore,
     EngineSpec,
     FilterEngine,
+    FulfilledMatrix,
     MatchCounters,
     MatchingTreeEngine,
     NonCanonicalEngine,
@@ -72,6 +75,7 @@ from .core import (
     engine_names,
     executor_names,
     make_executor,
+    popcount,
     register_engine,
     register_executor,
     resolve_engine,
@@ -138,17 +142,21 @@ __all__ = [
     "make_executor",
     "register_executor",
     "shard_index",
+    "BitLayout",
+    "Bitmap",
     "BruteForceEngine",
     "CountingEngine",
     "CountingVariantEngine",
     "DiskTreeStore",
     "FilterEngine",
+    "FulfilledMatrix",
     "MatchCounters",
     "MatchingTreeEngine",
     "NonCanonicalEngine",
     "PagedNonCanonicalEngine",
     "UnknownSubscriptionError",
     "UnsupportedSubscriptionError",
+    "popcount",
     "AttributeSpec",
     "AttributeType",
     "Event",

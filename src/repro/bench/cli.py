@@ -12,7 +12,7 @@ from ..core.registry import engine_names
 from ..experiments.report import format_table
 from .compare import compare_reports, gate_verdict
 from .records import BenchReport
-from .runner import run_bench, scaled_down
+from .runner import SCENARIO_FAMILIES, _match_family, run_bench, scaled_down
 from .thresholds import QUICK_TIME_TOLERANCE
 
 
@@ -81,6 +81,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="PREFIX",
+        help=(
+            "run only scenario families whose record names start with one "
+            "of these prefixes (e.g. 'throughput', 'churn', "
+            "'network-tree'); the full matrix runs when omitted.  Partial "
+            "reports are for iteration — a --baseline diff fails on the "
+            "missing points"
+        ),
+    )
+    parser.add_argument(
         "--shrink",
         type=int,
         default=1,
@@ -129,13 +141,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.scenarios and not any(
+        _match_family(family, args.scenarios)
+        for family in SCENARIO_FAMILIES
+    ):
+        parser.error(
+            f"--scenarios {' '.join(args.scenarios)} matches no scenario "
+            f"family (families: {', '.join(SCENARIO_FAMILIES)})"
+        )
     scale = scaled_down(args.scale, args.shrink)
     if args.repeats is not None:
         if args.repeats < 1:
             parser.error("--repeats must be at least 1")
         scale = replace(scale, repeats=args.repeats)
     started = time.perf_counter()
-    report = run_bench(scale, engines=args.engines, seed=args.seed)
+    report = run_bench(
+        scale,
+        engines=args.engines,
+        seed=args.seed,
+        scenarios=args.scenarios,
+    )
     elapsed = time.perf_counter() - started
     print(render_report(report))
     print(

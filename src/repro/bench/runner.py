@@ -514,24 +514,75 @@ def network_records(
 # ----------------------------------------------------------------------
 # the full matrix
 # ----------------------------------------------------------------------
+#: Scenario-family names, in matrix order.  ``run_bench``'s
+#: ``scenarios`` prefixes select families through :func:`_match_family`;
+#: the ``network`` family fans out into ``network-<topology>`` records.
+SCENARIO_FAMILIES = ("throughput", "shard-scaling", "skew", "churn", "network")
+
+
+def _match_family(family: str, prefixes: Sequence[str]) -> bool:
+    """Whether a family could produce a record matching any prefix.
+
+    Either direction of prefixing counts: ``"thr"`` selects the
+    ``throughput`` family, and ``"network-tree"`` selects ``network``
+    (whose records it then filters down to the tree topology).
+    """
+    return any(
+        family.startswith(prefix) or prefix.startswith(family)
+        for prefix in prefixes
+    )
+
+
 def run_bench(
     scale: BenchScale | str = "quick",
     *,
     engines: Sequence[str] | None = None,
     seed: int = 0,
+    scenarios: Sequence[str] | None = None,
 ) -> BenchReport:
     """Execute the curated matrix and return the validated report.
 
     ``engines`` restricts the *throughput* phase (the other phases keep
     their scale-curated engine sets) — the knob tests and bisections
-    use; ``None`` covers the whole registry.
+    use; ``None`` covers the whole registry.  ``scenarios`` restricts
+    the matrix to records whose scenario name starts with one of the
+    given prefixes — the iterate-on-one-family knob
+    (``python -m repro.bench --scenarios throughput``); unselected
+    families never run.  A filtered report is for iteration, not for
+    committing: the comparator fails on baseline points it is missing.
     """
     scale = resolve_scale(scale)
+    phases = {
+        "throughput": lambda: throughput_records(
+            scale, engines=engines, seed=seed
+        ),
+        "shard-scaling": lambda: shard_records(scale, seed=seed),
+        "skew": lambda: skew_records(scale, seed=seed),
+        "churn": lambda: churn_records(scale, seed=seed),
+        "network": lambda: network_records(scale, seed=seed),
+    }
+    if scenarios is not None:
+        prefixes = tuple(scenarios)
+        selected = [
+            family
+            for family in SCENARIO_FAMILIES
+            if _match_family(family, prefixes)
+        ]
+        if not selected:
+            raise ValueError(
+                f"no scenario family matches {prefixes!r}; families: "
+                f"{', '.join(SCENARIO_FAMILIES)}"
+            )
+    else:
+        prefixes = None
+        selected = list(SCENARIO_FAMILIES)
     records = [
-        *throughput_records(scale, engines=engines, seed=seed),
-        *shard_records(scale, seed=seed),
-        *skew_records(scale, seed=seed),
-        *churn_records(scale, seed=seed),
-        *network_records(scale, seed=seed),
+        record for family in selected for record in phases[family]()
     ]
+    if prefixes is not None:
+        records = [
+            record
+            for record in records
+            if any(record.scenario.startswith(p) for p in prefixes)
+        ]
     return BenchReport(scale=scale.name, records=records).validate()

@@ -6,6 +6,17 @@ from .base import (
     UnknownSubscriptionError,
     UnsupportedSubscriptionError,
 )
+from .bitset import (
+    POPCOUNT8,
+    WORD_BITS,
+    BitLayout,
+    Bitmap,
+    FulfilledMatrix,
+    iter_bits,
+    popcount,
+    popcount_bytes,
+    trailing_word_mask,
+)
 from .bruteforce import BruteForceEngine
 from .counting import MAX_CLAUSE_PREDICATES, CountingEngine, CountingVariantEngine
 from .matching_tree import MatchingTreeEngine
@@ -45,6 +56,15 @@ __all__ = [
     "MatchCounters",
     "UnknownSubscriptionError",
     "UnsupportedSubscriptionError",
+    "POPCOUNT8",
+    "WORD_BITS",
+    "BitLayout",
+    "Bitmap",
+    "FulfilledMatrix",
+    "iter_bits",
+    "popcount",
+    "popcount_bytes",
+    "trailing_word_mask",
     "BruteForceEngine",
     "MAX_CLAUSE_PREDICATES",
     "CountingEngine",

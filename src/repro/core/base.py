@@ -25,6 +25,7 @@ from ..events.event import Event
 from ..indexes.manager import IndexManager
 from ..predicates.registry import PredicateRegistry
 from ..subscriptions.subscription import Subscription
+from .bitset import FulfilledMatrix
 
 
 class UnsupportedSubscriptionError(ValueError):
@@ -212,6 +213,22 @@ class FilterEngine(abc.ABC):
         zeroing, page reads) across the batch.
         """
         return [self.match_fulfilled(fulfilled) for fulfilled in fulfilled_sets]
+
+    def match_fulfilled_matrix(self, matrix: FulfilledMatrix) -> list[set[int]]:
+        """Phase 2 over a column-major fulfilled-bit matrix.
+
+        The bit-packed sibling of :meth:`match_fulfilled_batch` (see
+        :mod:`repro.core.bitset`).  The default expands the matrix back
+        to per-event id sets and delegates, so every engine accepts a
+        matrix; the bitmap-kernel engines (counting, counting-variant,
+        non-canonical) override it with transposed word-wise evaluation
+        — and their ``match_batch`` feeds it from
+        :meth:`IndexManager.match_batch_bits`.  Result ``i`` always
+        equals ``match_fulfilled`` of event ``i``'s fulfilled set;
+        overrides change throughput and counter attribution (per-batch
+        instead of per-event probe units), never answers.
+        """
+        return self.match_fulfilled_batch(matrix.to_id_sets())
 
     # ------------------------------------------------------------------
     # memory accounting

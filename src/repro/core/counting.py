@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import AbstractSet, Mapping, Sequence
 
+from ..events.event import Event
 from ..indexes.manager import IndexManager
 from ..memory.cost_model import DEFAULT_COST_MODEL, CostModel
 from ..predicates.predicate import Predicate
@@ -42,6 +43,7 @@ from .base import (
     UnknownSubscriptionError,
     UnsupportedSubscriptionError,
 )
+from .bitset import FulfilledMatrix
 
 MAX_CLAUSE_PREDICATES = 255
 
@@ -91,6 +93,9 @@ class CountingEngine(FilterEngine):
         self._hits = bytearray()
         #: clause index -> original subscription id (0 = free slot)
         self._clause_subscription: list[int] = []
+        #: clause index -> required predicate bit positions (the clause's
+        #: requirement mask in the index manager's bit layout; () = free)
+        self._clause_bits: list[tuple[int, ...]] = []
         self._free_clause_slots: list[int] = []
         #: association table: id(p) -> [clause indexes]
         self._association: dict[int, list[int]] = {}
@@ -129,6 +134,7 @@ class CountingEngine(FilterEngine):
                     f"counter layout caps at {MAX_CLAUSE_PREDICATES} (§3.3)"
                 )
             prepared.append((predicates, len(predicates)))
+        layout = self.indexes.bit_layout
         for predicates, count in prepared:
             clause_index = self._allocate_clause(count, sid)
             pids = []
@@ -137,6 +143,7 @@ class CountingEngine(FilterEngine):
                 self.indexes.add(predicate, pid)
                 self._association.setdefault(pid, []).append(clause_index)
                 pids.append(pid)
+            self._clause_bits[clause_index] = layout.bits_of(pids)
             clause_records.append((clause_index, tuple(pids)))
         self._original_ids.add(sid)
         self._subscribers[sid] = subscription.subscriber
@@ -153,6 +160,7 @@ class CountingEngine(FilterEngine):
             self._counts.append(count)
             self._hits.append(0)
             self._clause_subscription.append(sid)
+            self._clause_bits.append(())
         self._live_clause_count += 1
         return index
 
@@ -211,6 +219,7 @@ class CountingEngine(FilterEngine):
         self._counts[clause_index] = 0
         self._hits[clause_index] = 0
         self._clause_subscription[clause_index] = 0
+        self._clause_bits[clause_index] = ()  # no stale-bit resurrection
         self._free_clause_slots.append(clause_index)
         self._live_clause_count -= 1
 
@@ -297,6 +306,61 @@ class CountingEngine(FilterEngine):
         counters.phase2_calls += len(results)
         counters.candidates_probed += len(counts) * len(results)
         counters.matches_found += matched_total
+        return results
+
+    def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
+        """Route real batches through the bit-packed kernel (PR 8).
+
+        Single events keep the per-event set path (identical counters to
+        ``match``); batches take phase 1 in column form and the matrix
+        phase 2 below.
+        """
+        events = list(events)
+        if len(events) <= 1:
+            return super().match_batch(events)
+        return self.match_fulfilled_matrix(self.indexes.match_batch_bits(events))
+
+    def match_fulfilled_matrix(self, matrix: FulfilledMatrix) -> list[set[int]]:
+        """Counting over the batch: requirement-mask AND per clause.
+
+        A clause matches event ``i`` iff every required predicate's
+        column has bit ``i`` set — so AND-ing the clause's columns tests
+        "hit count equals required count" for *all* events in a couple
+        of int operations, replacing the per-event hit-vector increment
+        and full-vector comparison.  The scan still visits every live
+        clause (the linear-in-N behaviour this engine exists to
+        exhibit); ``candidates_probed`` therefore ticks once per live
+        clause *per batch* — the amortization the kernel buys — where
+        the per-event paths tick per event.
+        """
+        event_count = matrix.event_count
+        if event_count == 0:
+            return []
+        all_events = matrix.all_events_mask
+        columns = matrix.columns
+        clause_bits = self._clause_bits
+        clause_subscription = self._clause_subscription
+        results: list[set[int]] = [set() for _ in range(event_count)]
+        probed = 0
+        for clause_index, required in enumerate(self._counts):
+            if not required:  # count 0 is the free-slot sentinel
+                continue
+            probed += 1
+            hits = all_events
+            for bit in clause_bits[clause_index]:
+                hits &= columns[bit]
+                if not hits:
+                    break
+            if hits:
+                sid = clause_subscription[clause_index]
+                while hits:
+                    low = hits & -hits
+                    results[low.bit_length() - 1].add(sid)
+                    hits ^= low
+        counters = self._counters
+        counters.phase2_calls += event_count
+        counters.candidates_probed += probed
+        counters.matches_found += sum(len(matched) for matched in results)
         return results
 
     def subscriber_of(self, subscription_id: int) -> str | None:
@@ -409,4 +473,52 @@ class CountingVariantEngine(CountingEngine):
         counters.phase2_calls += len(results)
         counters.candidates_probed += probed_total
         counters.matches_found += matched_total
+        return results
+
+    def match_fulfilled_matrix(self, matrix: FulfilledMatrix) -> list[set[int]]:
+        """Candidate-driven counting over the batch.
+
+        Only clauses referenced by a fulfilled predicate (any event) are
+        evaluated, preserving the variant's defining property — work
+        follows matching predicates, not registered subscriptions.  Each
+        touched clause is tested once per *batch* with the same
+        requirement-mask AND as the parent engine;
+        ``candidates_probed`` counts clauses actually evaluated (the
+        per-event paths count per-event touch occurrences).
+        """
+        event_count = matrix.event_count
+        if event_count == 0:
+            return []
+        association = self._association
+        pids = matrix.layout.pids
+        seen = bytearray(len(self._counts))
+        touched: list[int] = []
+        for bit in matrix.active_bits:
+            clauses = association.get(pids[bit])
+            if clauses:
+                for clause_index in clauses:
+                    if not seen[clause_index]:
+                        seen[clause_index] = 1
+                        touched.append(clause_index)
+        all_events = matrix.all_events_mask
+        columns = matrix.columns
+        clause_bits = self._clause_bits
+        clause_subscription = self._clause_subscription
+        results: list[set[int]] = [set() for _ in range(event_count)]
+        for clause_index in touched:
+            hits = all_events
+            for bit in clause_bits[clause_index]:
+                hits &= columns[bit]
+                if not hits:
+                    break
+            if hits:
+                sid = clause_subscription[clause_index]
+                while hits:
+                    low = hits & -hits
+                    results[low.bit_length() - 1].add(sid)
+                    hits ^= low
+        counters = self._counters
+        counters.phase2_calls += event_count
+        counters.candidates_probed += len(touched)
+        counters.matches_found += sum(len(matched) for matched in results)
         return results

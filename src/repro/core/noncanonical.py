@@ -33,10 +33,12 @@ from ..subscriptions.compiler import (
     CompiledTree,
     compile_tree,
 )
+from ..events.event import Event
 from ..subscriptions.encoding import BasicTreeCodec, TreeArena, VarintTreeCodec
 from ..subscriptions.subscription import Subscription
 from ..subscriptions.tree import SubscriptionTree
 from .base import FilterEngine, UnknownSubscriptionError
+from .bitset import FulfilledMatrix, popcount
 
 
 class NonCanonicalEngine(FilterEngine):
@@ -97,6 +99,10 @@ class NonCanonicalEngine(FilterEngine):
         self._locations: dict[int, tuple[int, int]] = {}
         #: id(s) -> compiled match form (evaluation="compiled" only)
         self._compiled: dict[int, CompiledTree] = {}
+        #: id(s) -> compiled form with predicate ids replaced by their
+        #: bit positions in the index manager's layout (the batch
+        #: kernel's requirement masks; evaluation="compiled" only)
+        self._bit_forms: dict[int, CompiledTree] = {}
         #: subscriptions that match under the *empty* truth assignment
         #: (NOT-rooted expressions): they can match events fulfilling
         #: none of their predicates, so candidate selection via the
@@ -122,7 +128,9 @@ class NonCanonicalEngine(FilterEngine):
         offset, width = self._arena.add(self._codec.encode(tree))
         self._locations[sid] = (offset, width)
         if self._evaluation == "compiled":
-            self._compiled[sid] = compile_tree(tree.root)
+            compiled = compile_tree(tree.root)
+            self._compiled[sid] = compiled
+            self._bit_forms[sid] = self._compile_bit_form(compiled)
         if tree.evaluate(frozenset()):
             self._empty_assignment_matchers.add(sid)
         self._subscribers[sid] = subscription.subscriber
@@ -131,6 +139,21 @@ class NonCanonicalEngine(FilterEngine):
         pid = self.registry.register(predicate)
         self.indexes.add(predicate, pid)
         return pid
+
+    def _compile_bit_form(self, compiled: CompiledTree) -> CompiledTree:
+        """The compiled form with predicate ids mapped to layout bits.
+
+        Built at registration, when every referenced predicate is live
+        in the shared index manager (so has a stable bit).  Closure
+        payloads evaluate on id sets and pass through unchanged.
+        """
+        mode, payload = compiled
+        bit_of = self.indexes.bit_layout.bits
+        if mode == MODE_ANY:
+            return mode, tuple(bit_of[pid] for pid in payload)
+        if mode in (MODE_GROUPS, MODE_DNF):
+            return mode, tuple(tuple(bit_of[pid] for pid in group) for group in payload)
+        return compiled
 
     def unregister(self, subscription_id: int) -> None:
         """Remove a subscription and clean every table it touches.
@@ -146,9 +169,7 @@ class NonCanonicalEngine(FilterEngine):
         predicate_ids = set(
             self._codec.predicate_ids(self._arena.buffer, offset, width)
         )
-        occurrences = list(
-            self._codec.predicate_ids(self._arena.buffer, offset, width)
-        )
+        occurrences = list(self._codec.predicate_ids(self._arena.buffer, offset, width))
         self._arena.free(offset, width)
         for pid in predicate_ids:
             referencing = self._association.get(pid)
@@ -162,6 +183,7 @@ class NonCanonicalEngine(FilterEngine):
         for pid in occurrences:
             self._release_predicate(pid)
         self._compiled.pop(subscription_id, None)
+        self._bit_forms.pop(subscription_id, None)
         self._empty_assignment_matchers.discard(subscription_id)
         del self._subscribers[subscription_id]
         if self._arena.needs_compaction():
@@ -209,6 +231,96 @@ class NonCanonicalEngine(FilterEngine):
                 if referencing is not None:
                     candidates.update(referencing)
             results.append(match_candidates(candidates, fulfilled_ids))
+        return results
+
+    def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
+        """Route real batches through the bit-packed kernel (PR 8).
+
+        Single events and the encoded-evaluation ablation keep the set
+        path; compiled batches take phase 1 in column form and the
+        matrix phase 2 below.
+        """
+        events = list(events)
+        if len(events) <= 1 or self._evaluation != "compiled":
+            return super().match_batch(events)
+        return self.match_fulfilled_matrix(self.indexes.match_batch_bits(events))
+
+    def match_fulfilled_matrix(self, matrix: FulfilledMatrix) -> list[set[int]]:
+        """Batch phase 2 on the bit kernel: one mask test per candidate.
+
+        Candidate selection runs once over the batch's fulfilled bits;
+        each candidate's compiled form is then evaluated in *event
+        space* — a group of alternative predicates ORs its bit columns,
+        conjunction ANDs the group masks — so one pass over a
+        candidate's bit form answers "which events match it" for the
+        whole batch (the per-event set-intersection probes collapse
+        into word-wise mask-subset tests).  ``candidates_probed`` ticks
+        once per candidate per *batch*; ``matches_found`` still counts
+        (event, subscription) pairs, identical to the set paths.
+        """
+        if self._evaluation != "compiled":
+            return super().match_fulfilled_matrix(matrix)
+        event_count = matrix.event_count
+        if event_count == 0:
+            return []
+        all_events = matrix.all_events_mask
+        columns = matrix.columns
+        association = self._association
+        pids = matrix.layout.pids
+        candidates: set[int] = set(self._empty_assignment_matchers)
+        for bit in matrix.active_bits:
+            referencing = association.get(pids[bit])
+            if referencing is not None:
+                candidates |= referencing
+        bit_forms = self._bit_forms
+        results: list[set[int]] = [set() for _ in range(event_count)]
+        id_sets: list[set[int]] | None = None
+        matched_total = 0
+        for sid in candidates:
+            mode, payload = bit_forms[sid]
+            if mode == MODE_GROUPS:
+                hits = all_events
+                for group in payload:
+                    acc = 0
+                    for bit in group:
+                        acc |= columns[bit]
+                    hits &= acc
+                    if not hits:
+                        break
+            elif mode == MODE_ANY:
+                hits = 0
+                for bit in payload:
+                    hits |= columns[bit]
+            elif mode == MODE_DNF:
+                hits = 0
+                for group in payload:
+                    acc = all_events
+                    for bit in group:
+                        acc &= columns[bit]
+                        if not acc:
+                            break
+                    hits |= acc
+                    if hits == all_events:
+                        break
+            else:  # closure: evaluate on per-event id sets (rare)
+                if id_sets is None:
+                    id_sets = matrix.to_id_sets()
+                hits = 0
+                event_bit = 1
+                for index in range(event_count):
+                    if payload(id_sets[index]):
+                        hits |= event_bit
+                    event_bit <<= 1
+            if hits:
+                matched_total += popcount(hits)
+                while hits:
+                    low = hits & -hits
+                    results[low.bit_length() - 1].add(sid)
+                    hits ^= low
+        counters = self._counters
+        counters.phase2_calls += event_count
+        counters.candidates_probed += len(candidates)
+        counters.matches_found += matched_total
         return results
 
     def _match_candidates(

@@ -182,12 +182,9 @@ class EngineSpec:
             )
         if executor is not None:
             raise ValueError(
-                "the executor= option is only meaningful together with "
-                "shards="
+                "the executor= option is only meaningful together with shards="
             )
-        return _FACTORIES[self.name](
-            registry=registry, indexes=indexes, **options
-        )
+        return _FACTORIES[self.name](registry=registry, indexes=indexes, **options)
 
     def with_options(self, **options: Any) -> EngineSpec:
         """A copy of this spec with extra/overridden options."""
@@ -196,9 +193,7 @@ class EngineSpec:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, EngineSpec):
             return NotImplemented
-        return self.name == other.name and dict(self.options) == dict(
-            other.options
-        )
+        return self.name == other.name and dict(self.options) == dict(other.options)
 
     def __hash__(self) -> int:
         return hash((self.name, tuple(sorted(self.options))))
@@ -241,9 +236,7 @@ def resolve_engine(
         return engine
     if isinstance(engine, (str, EngineSpec)):
         return build_engine(engine, registry=registry, indexes=indexes)
-    raise TypeError(
-        f"expected an engine instance, EngineSpec, or name; got {engine!r}"
-    )
+    raise TypeError(f"expected an engine instance, EngineSpec, or name; got {engine!r}")
 
 
 def engine_catalog() -> dict[str, type]:

@@ -338,8 +338,7 @@ class ProcessExecutor(ShardExecutor):
                 status, result = connection.recv()
                 if status != "ok":
                     raise ShardWorkerError(
-                        f"shard worker {shard} failed on "
-                        f"'match_batch':\n{result}"
+                        f"shard worker {shard} failed on 'match_batch':\n{result}"
                     )
                 per_shard.append(result)
         except BaseException:
@@ -452,6 +451,15 @@ class ShardedEngine(FilterEngine):
         self._executor = make_executor(executor)
         self._executor.bind(self)
         self.name = f"{self._shards[0].name}×{shards}"
+        # one shared phase-1 bit matrix can feed every shard's phase 2
+        # iff every shard actually overrides the matrix hook; otherwise
+        # the set pipeline stays (expanding the matrix per shard would
+        # multiply the transpose cost by the shard count)
+        self._matrix_capable = all(
+            type(shard).match_fulfilled_matrix
+            is not FilterEngine.match_fulfilled_matrix
+            for shard in self._shards
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -576,8 +584,11 @@ class ShardedEngine(FilterEngine):
         """Batch matching; the executor may claim the whole pipeline.
 
         The process executor routes the events to its workers (each runs
-        both phases over its slice); the in-process strategies run one
-        shared phase-1 pass and fan phase 2 out across the shards.
+        both phases over its slice, rebuilding private bit layouts from
+        the spec); the in-process strategies run one shared phase-1 pass
+        and fan phase 2 out across the shards — in column-major bit form
+        when every shard speaks the PR 8 kernel, as per-event id sets
+        otherwise.
         """
         events = list(events)
         if not events:
@@ -585,6 +596,18 @@ class ShardedEngine(FilterEngine):
         routed = self._executor.match_batch_events(events)
         if routed is not None:
             return routed
+        if self._matrix_capable and len(events) > 1:
+            matrix = self.indexes.match_batch_bits(events)
+            answers = self._executor.map_shards(
+                [
+                    lambda shard=shard: shard.match_fulfilled_matrix(matrix)
+                    for shard in self._shards
+                ]
+            )
+            return [
+                set().union(*(shard_sets[i] for shard_sets in answers))
+                for i in range(len(events))
+            ]
         return super().match_batch(events)
 
     # ------------------------------------------------------------------

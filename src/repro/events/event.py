@@ -98,6 +98,15 @@ class Event(Mapping[str, AttributeValue]):
         """Return the value for ``name``, or ``default`` when absent."""
         return self._attributes.get(name, default)
 
+    def items(self):
+        """(name, value) pairs, directly off the attribute dict.
+
+        Overrides the ``Mapping`` mixin, which goes through
+        ``__getitem__`` per key — ``items()`` is the inner loop of
+        phase-1 matching, so it gets the C-level dict view.
+        """
+        return self._attributes.items()
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Event):
             return NotImplemented

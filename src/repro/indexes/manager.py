@@ -227,6 +227,11 @@ _PROBES_STRING = tuple(p for _, p in VALUE_PROBES)
 
 _CACHE_MISS = object()
 
+#: The persistent probe cache is cleared when it exceeds this many
+#: distinct ``(attribute, type, value)`` entries — a safety valve for
+#: adversarial value streams; the curated workloads stay far below it.
+_PROBE_CACHE_LIMIT = 65536
+
 
 def _probes_for(value) -> tuple[Callable, ...]:
     """The probe tuple admitted by ``value``'s type (bool before int)."""
@@ -246,6 +251,15 @@ class IndexManager:
         self._btree_order = btree_order
         self._attributes: dict[str, AttributeIndexes] = {}
         self._registered: dict[int, Predicate] = {}
+        #: bumped on every add/remove; guards the probe cache
+        self._version = 0
+        #: (attribute, value type, value) -> fulfilled id set (None when
+        #: the attribute has no indexes); persists across batches until
+        #: the predicate population changes
+        self._probe_cache: dict[tuple[str, type, object], set[int] | None] = {}
+        self._probe_cache_version = 0
+        #: predicate-id -> bit-position layout (lazy; see core.bitset)
+        self._layout = None
 
     # ------------------------------------------------------------------
     # registration
@@ -268,6 +282,8 @@ class IndexManager:
             index = slot.create(self, bundle, predicate)
         index.insert(slot.key(predicate), predicate_id)
         self._registered[predicate_id] = predicate
+        self._version += 1
+        self.bit_layout.assign(predicate_id)
 
     def remove(self, predicate_id: int) -> bool:
         """Drop ``predicate_id`` from its index; returns ``True`` if present."""
@@ -279,7 +295,46 @@ class IndexManager:
         slot.find(bundle, predicate).remove(slot.key(predicate), predicate_id)
         if bundle.is_empty():
             del self._attributes[predicate.attribute]
+        self._version += 1
+        if self._layout is not None:
+            self._layout.release(predicate_id)
         return True
+
+    # ------------------------------------------------------------------
+    # bit layout (phase-2 kernel support)
+    # ------------------------------------------------------------------
+    @property
+    def bit_layout(self):
+        """The manager-owned predicate-id -> bit-position layout.
+
+        Created lazily (the import is deferred: ``core`` imports this
+        module at package init, so a top-level import of
+        :mod:`repro.core.bitset` would cycle).  Every id this manager
+        indexes has a bit here — ``add`` assigns, ``remove`` releases —
+        so engines sharing the manager agree on bit positions and
+        recycled bits can never sit in a live requirement mask.
+        """
+        layout = self._layout
+        if layout is None:
+            from ..core.bitset import BitLayout
+
+            layout = self._layout = BitLayout()
+        return layout
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every ``add`` and ``remove``."""
+        return self._version
+
+    def _live_probe_cache(self) -> dict[tuple[str, type, object], set[int] | None]:
+        """The probe cache, cleared if stale or oversized."""
+        if (
+            self._probe_cache_version != self._version
+            or len(self._probe_cache) > _PROBE_CACHE_LIMIT
+        ):
+            self._probe_cache = {}
+            self._probe_cache_version = self._version
+        return self._probe_cache
 
     # ------------------------------------------------------------------
     # matching (phase 1)
@@ -299,14 +354,17 @@ class IndexManager:
         """Phase 1 over a batch: one probe per distinct attribute value.
 
         Events' attribute values are grouped so each per-attribute bundle
-        is probed once per distinct ``(attribute, value)`` pair in the
-        batch; repeated values (heavy under Zipf-skewed workloads) reuse
-        the memoized id set.  The cache key includes the value's concrete
-        type because matching distinguishes ``True`` from ``1`` (and the
-        string/numeric domains) even though they hash equally.
+        is probed once per distinct ``(attribute, value)`` pair; repeated
+        values (heavy under Zipf-skewed workloads) reuse the memoized id
+        set.  The cache *persists across batches* and is invalidated by
+        any ``add``/``remove`` — the per-pair fulfilled set is a pure
+        function of the indexed predicate population, never of the event
+        stream.  The cache key includes the value's concrete type because
+        matching distinguishes ``True`` from ``1`` (and the string and
+        numeric domains) even though they hash equally.
         """
         results: list[set[int]] = []
-        cache: dict[tuple[str, type, object], set[int] | None] = {}
+        cache = self._live_probe_cache()
         attributes = self._attributes
         for event in events:
             fulfilled: set[int] = set()
@@ -325,6 +383,54 @@ class IndexManager:
                     fulfilled |= hit
             results.append(fulfilled)
         return results
+
+    def match_batch_bits(self, events: Sequence[Event]):
+        """Phase 1 over a batch, in the kernel's column-major bit form.
+
+        Returns a :class:`~repro.core.bitset.FulfilledMatrix`: one
+        event-space integer column per fulfilled predicate bit.  The
+        probes (and their persistent cache) are shared with
+        :meth:`match_batch`; the only difference is the output encoding —
+        instead of unioning each pair's id set into per-event Python
+        sets, every id's column gets the pair's event mask OR-ed in, one
+        int operation per (distinct pair, fulfilled id).
+        """
+        from ..core.bitset import FulfilledMatrix
+
+        layout = self.bit_layout
+        cache = self._live_probe_cache()
+        attributes = self._attributes
+        # distinct (attribute, type, value) -> mask of events carrying it
+        pair_events: dict[tuple[str, type, object], int] = {}
+        event_bit = 1
+        for event in events:
+            for attribute, value in event.items():
+                key = (attribute, value.__class__, value)
+                prev = pair_events.get(key)
+                pair_events[key] = (
+                    event_bit if prev is None else prev | event_bit
+                )
+            event_bit <<= 1
+        columns = [0] * layout.capacity
+        active_bits: list[int] = []
+        bit_of = layout.bits
+        for key, event_mask in pair_events.items():
+            hit = cache.get(key, _CACHE_MISS)
+            if hit is _CACHE_MISS:
+                bundle = attributes.get(key[0])
+                if bundle is None:
+                    hit = None
+                else:
+                    hit = set()
+                    self._match_attribute(bundle, key[2], hit)
+                cache[key] = hit
+            if hit:
+                for pid in hit:
+                    bit = bit_of[pid]
+                    if not columns[bit]:
+                        active_bits.append(bit)
+                    columns[bit] |= event_mask
+        return FulfilledMatrix(layout, columns, active_bits, len(events))
 
     def _match_attribute(
         self, bundle: AttributeIndexes, value, fulfilled: set[int]
