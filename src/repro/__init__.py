@@ -61,9 +61,12 @@ from .core import (
     MatchingTreeEngine,
     NonCanonicalEngine,
     PagedNonCanonicalEngine,
+    HashPartitioner,
     ProcessExecutor,
+    RoutedPartitioner,
     SerialExecutor,
     ShardExecutor,
+    ShardPartitioner,
     ShardWorkerError,
     ShardedEngine,
     ThreadExecutor,
@@ -75,9 +78,12 @@ from .core import (
     engine_names,
     executor_names,
     make_executor,
+    make_partitioner,
+    partitioner_names,
     popcount,
     register_engine,
     register_executor,
+    register_partitioner,
     resolve_engine,
     shard_index,
     spec_of,
@@ -134,13 +140,19 @@ __all__ = [
     "spec_of",
     "ShardedEngine",
     "ShardExecutor",
+    "ShardPartitioner",
+    "HashPartitioner",
+    "RoutedPartitioner",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "ShardWorkerError",
     "executor_names",
     "make_executor",
+    "make_partitioner",
+    "partitioner_names",
     "register_executor",
+    "register_partitioner",
     "shard_index",
     "BitLayout",
     "Bitmap",

@@ -35,6 +35,7 @@ from .runner import (
     run_bench,
     scaled_down,
     shard_records,
+    shard_routing_records,
     skew_records,
     throughput_records,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "scaled_down",
     "throughput_records",
     "shard_records",
+    "shard_routing_records",
     "skew_records",
     "churn_records",
     "network_records",

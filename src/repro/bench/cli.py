@@ -9,6 +9,7 @@ from dataclasses import replace
 from typing import Sequence
 
 from ..core.registry import engine_names
+from ..core.sharded import executor_names
 from ..experiments.report import format_table
 from .compare import compare_reports, gate_verdict
 from .records import BenchReport
@@ -93,6 +94,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shards",
+        nargs="+",
+        type=int,
+        metavar="N",
+        help=(
+            "keep only records at these shard counts (e.g. '--shards 1 8' "
+            "to compare a scaling endpoint against its baseline); the "
+            "matrix still runs in full — this filters the report, like "
+            "--scenarios"
+        ),
+    )
+    parser.add_argument(
+        "--executors",
+        nargs="+",
+        metavar="NAME",
+        help=(
+            "keep only records produced under these shard executors "
+            f"(registered: {', '.join(executor_names())}); unsharded "
+            "records carry executor=serial"
+        ),
+    )
+    parser.add_argument(
         "--shrink",
         type=int,
         default=1,
@@ -149,6 +172,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"--scenarios {' '.join(args.scenarios)} matches no scenario "
             f"family (families: {', '.join(SCENARIO_FAMILIES)})"
         )
+    if args.shards is not None and any(count < 1 for count in args.shards):
+        parser.error("--shards counts must be at least 1")
+    if args.executors is not None:
+        unknown = sorted(set(args.executors) - set(executor_names()))
+        if unknown:
+            parser.error(
+                f"unknown executors: {', '.join(unknown)} "
+                f"(registered: {', '.join(executor_names())})"
+            )
     scale = scaled_down(args.scale, args.shrink)
     if args.repeats is not None:
         if args.repeats < 1:
@@ -160,6 +192,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         engines=args.engines,
         seed=args.seed,
         scenarios=args.scenarios,
+        shards=args.shards,
+        executors=args.executors,
     )
     elapsed = time.perf_counter() - started
     print(render_report(report))

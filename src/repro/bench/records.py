@@ -21,6 +21,7 @@ A report is a JSON object::
           "engine":    "<canonical registry name>",
           "shards":    1,
           "executor":  "serial",
+          "partitioner": "hash",
           "batch_size": 256,
           "events":    512,
           "seconds":   0.0123,
@@ -32,7 +33,9 @@ A report is a JSON object::
     }
 
 A record's identity — what the comparator joins baseline and fresh
-reports on — is ``(scenario, engine, shards, executor, batch_size)``.
+reports on — is ``(scenario, engine, shards, executor, partitioner,
+batch_size)``.  ``partitioner`` defaults to ``"hash"`` on read, so
+reports written before the field existed load (and join) unchanged.
 ``metrics`` carries everything that *explains* the headline number
 (per-event candidate probes, matches, shard speedups, churn mix) so a
 regression report can say whether candidate counts moved or raw speed
@@ -60,6 +63,7 @@ SCHEMA_VERSION = 1
 SCENARIOS = (
     "throughput",
     "shard-scaling",
+    "shard-routing",
     "skew",
     "churn",
     "network-line",
@@ -69,7 +73,7 @@ SCENARIOS = (
 )
 
 #: Identity of one record inside a report.
-RecordKey = tuple[str, str, int, str, int]
+RecordKey = tuple[str, str, int, str, str, int]
 
 
 class SchemaError(ValueError):
@@ -105,9 +109,11 @@ class BenchRecord:
         free-form for ad-hoc reports).
     engine:
         Canonical registry name of the (inner) engine.
-    shards / executor:
+    shards / executor / partitioner:
         The sharded-runtime configuration; ``shards=1`` with
-        ``executor="serial"`` is the unsharded point.
+        ``executor="serial"`` and ``partitioner="hash"`` is the
+        unsharded point (unsharded engines have no placement, so those
+        fields are pinned to the defaults for record stability).
     batch_size:
         Events per :meth:`~repro.core.base.FilterEngine.match_batch`
         call (1 = the per-event path).
@@ -134,6 +140,7 @@ class BenchRecord:
     seconds: float
     events_per_second: float
     memory_bytes: int
+    partitioner: str = "hash"
     metrics: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -143,6 +150,8 @@ class BenchRecord:
             raise SchemaError("record engine must be non-empty")
         if self.shards < 1:
             raise SchemaError("record shards must be at least 1")
+        if not self.partitioner:
+            raise SchemaError("record partitioner must be non-empty")
         if self.batch_size < 1:
             raise SchemaError("record batch_size must be at least 1")
         if self.events < 1:
@@ -172,6 +181,7 @@ class BenchRecord:
             self.engine,
             self.shards,
             self.executor,
+            self.partitioner,
             self.batch_size,
         )
 
@@ -180,6 +190,8 @@ class BenchRecord:
         engine = self.engine
         if self.shards > 1:
             engine = f"{engine}×{self.shards}/{self.executor}"
+            if self.partitioner != "hash":
+                engine = f"{engine}/{self.partitioner}"
         return f"{self.scenario}:{engine}@b{self.batch_size}"
 
     def to_dict(self) -> dict[str, Any]:
@@ -188,6 +200,7 @@ class BenchRecord:
             "engine": self.engine,
             "shards": self.shards,
             "executor": self.executor,
+            "partitioner": self.partitioner,
             "batch_size": self.batch_size,
             "events": self.events,
             "seconds": self.seconds,
@@ -206,6 +219,8 @@ class BenchRecord:
                 engine=str(data["engine"]),
                 shards=int(data["shards"]),
                 executor=str(data["executor"]),
+                # reports predate the routing layer: absent means "hash"
+                partitioner=str(data.get("partitioner", "hash")),
                 batch_size=int(data["batch_size"]),
                 events=int(data["events"]),
                 seconds=float(data["seconds"]),

@@ -9,6 +9,9 @@
 * **shard-scaling** — speedup-versus-shard-count curves
   (:func:`~repro.experiments.harness.run_shard_sweep`, serial executor
   so CI numbers are deterministic);
+* **shard-routing** — routed-versus-hash partitioner curves on the
+  skewed hot-key corpus (serial executor, per-event path): the regime
+  where covering-hull shard pruning turns serial sharding into a win;
 * **skew** — the :class:`~repro.workloads.scenarios.SkewedHotKeyScenario`
   hot-key workload, where candidate sets concentrate;
 * **churn** — the :class:`~repro.workloads.scenarios.ChurnScenario`
@@ -62,6 +65,13 @@ class BenchScale:
     #: shard-scaling sweep
     shard_counts: tuple[int, ...]
     shard_engines: tuple[str, ...]
+    #: shard-routing sweep (routed-vs-hash pruning on the skew corpus;
+    #: larger populations than shard-scaling because pruning needs
+    #: enough distinct hot keys to spread regions across shards)
+    routing_subscriptions: int
+    routing_events: int
+    routing_shard_counts: tuple[int, ...]
+    routing_engines: tuple[str, ...]
     #: skew workload
     skew_subscriptions: int
     skew_events: int
@@ -89,6 +99,10 @@ QUICK = BenchScale(
     value_range=16,
     shard_counts=(1, 2, 4),
     shard_engines=("noncanonical",),
+    routing_subscriptions=600,
+    routing_events=160,
+    routing_shard_counts=(1, 8),
+    routing_engines=("noncanonical",),
     skew_subscriptions=200,
     skew_events=256,
     skew_engines=("noncanonical", "counting"),
@@ -112,6 +126,10 @@ FULL = BenchScale(
     value_range=16,
     shard_counts=(1, 2, 4, 8),
     shard_engines=("noncanonical", "counting-variant"),
+    routing_subscriptions=2000,
+    routing_events=300,
+    routing_shard_counts=(1, 4, 8),
+    routing_engines=("noncanonical",),
     skew_subscriptions=600,
     skew_events=512,
     skew_engines=("noncanonical", "counting", "counting-variant"),
@@ -160,6 +178,8 @@ def scaled_down(scale: BenchScale | str, factor: int) -> BenchScale:
         subscriptions=shrink(base.subscriptions),
         events=shrink(base.events),
         repeats=1 if factor > 1 else base.repeats,
+        routing_subscriptions=shrink(base.routing_subscriptions),
+        routing_events=shrink(base.routing_events),
         skew_subscriptions=shrink(base.skew_subscriptions),
         skew_events=shrink(base.skew_events),
         churn_ops=shrink(base.churn_ops),
@@ -168,8 +188,8 @@ def scaled_down(scale: BenchScale | str, factor: int) -> BenchScale:
     )
 
 
-def _spec_fields(name: str | EngineSpec) -> tuple[str, int, str]:
-    """(canonical engine, shards, executor) of a spec or name.
+def _spec_fields(name: str | EngineSpec) -> tuple[str, int, str, str]:
+    """(canonical engine, shards, executor, partitioner) of a spec/name.
 
     Accepts the ``"noncanonical×4"`` shorthand, display-name aliases,
     and plain canonical names — the record fields come out normalized
@@ -181,6 +201,7 @@ def _spec_fields(name: str | EngineSpec) -> tuple[str, int, str]:
         spec.name,
         int(options.get("shards", 1)),
         str(options.get("executor", "serial")),
+        str(options.get("partitioner", "hash")),
     )
 
 
@@ -199,11 +220,17 @@ def _counter_metrics(counters: Mapping[str, float] | None) -> dict[str, float]:
     """Per-event counter averages under their trajectory metric names."""
     if not counters:
         return {}
-    return {
+    metrics = {
         "phase2_calls_per_event": counters.get("phase2_calls", 0.0),
         "candidates_probed_per_event": counters.get("candidates_probed", 0.0),
         "matches_per_event": counters.get("matches_found", 0.0),
     }
+    # shard-fan-out counters only exist on sharded engines; recording
+    # them unconditionally would add all-zero metrics to every record
+    if counters.get("shards_probed"):
+        metrics["shards_probed_per_event"] = counters["shards_probed"]
+        metrics["shards_pruned_per_event"] = counters.get("shards_pruned", 0.0)
+    return metrics
 
 
 def _throughput_record(
@@ -213,6 +240,7 @@ def _throughput_record(
     engine: str,
     shards: int = 1,
     executor: str = "serial",
+    partitioner: str = "hash",
     extra_metrics: Mapping[str, float] | None = None,
 ) -> BenchRecord:
     metrics = _counter_metrics(point.counters)
@@ -223,6 +251,7 @@ def _throughput_record(
         engine=engine,
         shards=shards,
         executor=executor,
+        partitioner=partitioner,
         batch_size=point.batch_size,
         events=point.events,
         seconds=point.seconds,
@@ -257,7 +286,7 @@ def throughput_records(
     # run_throughput_sweep keys results by engine *display* name, in
     # entry order; zip back to the entries to recover the spec fields.
     for name, points in zip(names, results.values()):
-        engine, shards, executor = _spec_fields(name)
+        engine, shards, executor, partitioner = _spec_fields(name)
         for point in points:
             records.append(
                 _throughput_record(
@@ -266,6 +295,7 @@ def throughput_records(
                     engine=engine,
                     shards=shards,
                     executor=executor,
+                    partitioner=partitioner,
                 )
             )
     return records
@@ -297,7 +327,56 @@ def shard_records(
     return records
 
 
-def _shard_record(point: ShardScalingPoint, *, engine: str) -> BenchRecord:
+def shard_routing_records(
+    scale: BenchScale | str = QUICK,
+    *,
+    engines: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[BenchRecord]:
+    """The routed-vs-hash pruning sweep on the skewed hot-key corpus.
+
+    Both partitioners are measured at every routing shard count with the
+    serial executor on the per-event path (``batch_size=1``) — the
+    configuration where pruned shards translate directly into skipped
+    work.  The routed records carry ``shards_pruned_per_event`` in their
+    metrics, so the trajectory shows *why* the throughput moved, and the
+    comparator's existing throughput gate covers the routed win like any
+    other point.  The unsharded baseline is recorded once (it has no
+    placement, so the second sweep's identical ``shards=1`` point is
+    dropped rather than duplicate a record key).
+    """
+    scale = resolve_scale(scale)
+    names = tuple(engines) if engines is not None else scale.routing_engines
+    records = []
+    for partitioner in ("hash", "routed"):
+        results = run_shard_sweep(
+            subscription_count=scale.routing_subscriptions,
+            shard_counts=scale.routing_shard_counts,
+            engines=names,
+            executor="serial",
+            partitioner=partitioner,
+            corpus="skew",
+            batch_size=1,
+            event_count=scale.routing_events,
+            seed=seed,
+            repeats=scale.repeats,
+        )
+        for name, curve in results.items():
+            for point in curve:
+                if point.shards == 1 and partitioner != "hash":
+                    continue  # same unsharded baseline as the hash pass
+                records.append(
+                    _shard_record(point, engine=name, scenario="shard-routing")
+                )
+    return records
+
+
+def _shard_record(
+    point: ShardScalingPoint,
+    *,
+    engine: str,
+    scenario: str = "shard-scaling",
+) -> BenchRecord:
     metrics = _counter_metrics(point.counters)
     # a sub-resolution measurement makes the harness speedup infinite;
     # record 0.0 ("no usable speedup signal") rather than break the schema
@@ -305,10 +384,11 @@ def _shard_record(point: ShardScalingPoint, *, engine: str) -> BenchRecord:
         point.speedup if math.isfinite(point.speedup) else 0.0
     )
     return BenchRecord(
-        scenario="shard-scaling",
+        scenario=scenario,
         engine=engine,
         shards=point.shards,
         executor=point.executor,
+        partitioner=point.partitioner,
         batch_size=point.batch_size,
         events=point.events,
         seconds=point.seconds,
@@ -349,7 +429,7 @@ def skew_records(
                 batch_size=max(scale.batch_sizes),
                 repeats=scale.repeats,
             )
-            canonical, shards, executor = _spec_fields(name)
+            canonical, shards, executor, partitioner = _spec_fields(name)
             records.append(
                 _throughput_record(
                     "skew",
@@ -357,6 +437,7 @@ def skew_records(
                     engine=canonical,
                     shards=shards,
                     executor=executor,
+                    partitioner=partitioner,
                 )
             )
         finally:
@@ -408,13 +489,14 @@ def churn_records(
                 }
             finally:
                 engine.close()
-        canonical, shards, executor = _spec_fields(spec)
+        canonical, shards, executor, partitioner = _spec_fields(spec)
         records.append(
             BenchRecord(
                 scenario="churn",
                 engine=canonical,
                 shards=shards,
                 executor=executor,
+                partitioner=partitioner,
                 batch_size=1,  # churn publishes take the per-event path
                 events=op_count,
                 seconds=best,
@@ -517,7 +599,14 @@ def network_records(
 #: Scenario-family names, in matrix order.  ``run_bench``'s
 #: ``scenarios`` prefixes select families through :func:`_match_family`;
 #: the ``network`` family fans out into ``network-<topology>`` records.
-SCENARIO_FAMILIES = ("throughput", "shard-scaling", "skew", "churn", "network")
+SCENARIO_FAMILIES = (
+    "throughput",
+    "shard-scaling",
+    "shard-routing",
+    "skew",
+    "churn",
+    "network",
+)
 
 
 def _match_family(family: str, prefixes: Sequence[str]) -> bool:
@@ -539,6 +628,8 @@ def run_bench(
     engines: Sequence[str] | None = None,
     seed: int = 0,
     scenarios: Sequence[str] | None = None,
+    shards: Sequence[int] | None = None,
+    executors: Sequence[str] | None = None,
 ) -> BenchReport:
     """Execute the curated matrix and return the validated report.
 
@@ -548,8 +639,12 @@ def run_bench(
     the matrix to records whose scenario name starts with one of the
     given prefixes — the iterate-on-one-family knob
     (``python -m repro.bench --scenarios throughput``); unselected
-    families never run.  A filtered report is for iteration, not for
-    committing: the comparator fails on baseline points it is missing.
+    families never run.  ``shards``/``executors`` filter the finished
+    records down to the given shard counts / executor names — pure
+    post-filters (every selected family still runs, since shard curves
+    need their ``shards=1`` baseline measured either way).  Filtered
+    reports are for iteration, not for committing: the comparator fails
+    on baseline points it is missing.
     """
     scale = resolve_scale(scale)
     phases = {
@@ -557,6 +652,7 @@ def run_bench(
             scale, engines=engines, seed=seed
         ),
         "shard-scaling": lambda: shard_records(scale, seed=seed),
+        "shard-routing": lambda: shard_routing_records(scale, seed=seed),
         "skew": lambda: skew_records(scale, seed=seed),
         "churn": lambda: churn_records(scale, seed=seed),
         "network": lambda: network_records(scale, seed=seed),
@@ -585,4 +681,10 @@ def run_bench(
             for record in records
             if any(record.scenario.startswith(p) for p in prefixes)
         ]
+    if shards is not None:
+        wanted_shards = {int(count) for count in shards}
+        records = [r for r in records if r.shards in wanted_shards]
+    if executors is not None:
+        wanted_executors = set(executors)
+        records = [r for r in records if r.executor in wanted_executors]
     return BenchReport(scale=scale.name, records=records).validate()

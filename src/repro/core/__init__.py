@@ -34,15 +34,21 @@ from .registry import (
     spec_of,
 )
 from .sharded import (
+    HashPartitioner,
     ProcessExecutor,
+    RoutedPartitioner,
     SerialExecutor,
     ShardExecutor,
+    ShardPartitioner,
     ShardWorkerError,
     ShardedEngine,
     ThreadExecutor,
     executor_names,
     make_executor,
+    make_partitioner,
+    partitioner_names,
     register_executor,
+    register_partitioner,
     shard_index,
 )
 
@@ -85,12 +91,18 @@ __all__ = [
     "spec_of",
     "ShardedEngine",
     "ShardExecutor",
+    "ShardPartitioner",
+    "HashPartitioner",
+    "RoutedPartitioner",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "ShardWorkerError",
     "executor_names",
     "make_executor",
+    "make_partitioner",
+    "partitioner_names",
     "register_executor",
+    "register_partitioner",
     "shard_index",
 ]

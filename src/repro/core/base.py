@@ -57,23 +57,33 @@ class MatchCounters:
       candidate trees evaluated (non-canonical/paged), clause slots
       compared (counting engines), tree nodes visited (matching tree),
       expressions evaluated (brute force).  Memo hits probe nothing;
-    * ``matches_found`` — matching subscription ids returned.
+    * ``matches_found`` — matching subscription ids returned;
+    * ``shards_probed`` / ``shards_pruned`` — per-event shard fan-out of
+      the sharded runtime: how many shards an event was dispatched to
+      versus skipped outright by the routed partitioner's region digest.
+      Zero on unsharded engines; ``probed + pruned`` per event equals
+      the shard count, so the pair explains *why* routed sharding wins.
 
     Counters accumulate monotonically; :meth:`reset` zeroes them.  They
     measure *in-process* work only — batches routed to the sharded
     runtime's fork workers do their probing in the worker processes,
-    invisible here.
+    invisible here (shard fan-out is counted in the parent either way:
+    the dispatch decision is the parent's).
     """
 
     phase2_calls: int = 0
     candidates_probed: int = 0
     matches_found: int = 0
+    shards_probed: int = 0
+    shards_pruned: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.phase2_calls = 0
         self.candidates_probed = 0
         self.matches_found = 0
+        self.shards_probed = 0
+        self.shards_pruned = 0
 
     def snapshot(self) -> dict[str, int]:
         """The counters as a plain dict (stable keys, copy-safe)."""
@@ -81,6 +91,8 @@ class MatchCounters:
             "phase2_calls": self.phase2_calls,
             "candidates_probed": self.candidates_probed,
             "matches_found": self.matches_found,
+            "shards_probed": self.shards_probed,
+            "shards_pruned": self.shards_pruned,
         }
 
     def __add__(self, other: "MatchCounters") -> "MatchCounters":
@@ -90,6 +102,8 @@ class MatchCounters:
             phase2_calls=self.phase2_calls + other.phase2_calls,
             candidates_probed=self.candidates_probed + other.candidates_probed,
             matches_found=self.matches_found + other.matches_found,
+            shards_probed=self.shards_probed + other.shards_probed,
+            shards_pruned=self.shards_pruned + other.shards_pruned,
         )
 
 

@@ -204,32 +204,54 @@ class NonCanonicalEngine(FilterEngine):
     # matching
     # ------------------------------------------------------------------
     def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
-        """Candidate selection + subscription tree evaluation (paper §3.2)."""
+        """Candidate selection + subscription tree evaluation (paper §3.2).
+
+        Candidate collection walks the smaller side of the association
+        join: normally the fulfilled ids, but when this engine holds
+        fewer associations than the event fulfilled predicates — the
+        sharded runtime's small shards — the table itself.  Either walk
+        produces the same candidate set; the small-table form is what
+        keeps a pruned shard's probe cost proportional to the shard,
+        not to the event.
+        """
         association = self._association
         candidates: set[int] = set(self._empty_assignment_matchers)
-        for pid in fulfilled_ids:
-            referencing = association.get(pid)
-            if referencing is not None:
-                candidates.update(referencing)
+        if len(association) < len(fulfilled_ids):
+            for pid, referencing in association.items():
+                if pid in fulfilled_ids:
+                    candidates.update(referencing)
+        else:
+            for pid in fulfilled_ids:
+                referencing = association.get(pid)
+                if referencing is not None:
+                    candidates.update(referencing)
         return self._match_candidates(candidates, fulfilled_ids)
 
     def match_fulfilled_batch(
         self, fulfilled_sets: Sequence[AbstractSet[int]]
     ) -> list[set[int]]:
         """Batch phase 2: one candidate buffer, compiled forms looked up
-        through hoisted locals, reused across every event in the batch."""
+        through hoisted locals, reused across every event in the batch.
+        Candidate collection joins through the smaller side, as in
+        :meth:`match_fulfilled`."""
         association = self._association
         empty_matchers = self._empty_assignment_matchers
         match_candidates = self._match_candidates
+        association_size = len(association)
         candidates: set[int] = set()
         results: list[set[int]] = []
         for fulfilled_ids in fulfilled_sets:
             candidates.clear()
             candidates.update(empty_matchers)
-            for pid in fulfilled_ids:
-                referencing = association.get(pid)
-                if referencing is not None:
-                    candidates.update(referencing)
+            if association_size < len(fulfilled_ids):
+                for pid, referencing in association.items():
+                    if pid in fulfilled_ids:
+                        candidates.update(referencing)
+            else:
+                for pid in fulfilled_ids:
+                    referencing = association.get(pid)
+                    if referencing is not None:
+                        candidates.update(referencing)
             results.append(match_candidates(candidates, fulfilled_ids))
         return results
 

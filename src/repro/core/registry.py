@@ -123,9 +123,11 @@ class EngineSpec:
     >>> spec.build().name
     'non-canonical'
 
-    Two reserved options describe the **sharded runtime** rather than
+    Three reserved options describe the **sharded runtime** rather than
     the inner engine: ``shards`` (partition the subscriptions across
-    that many inner engines, see :mod:`repro.core.sharded`) and
+    that many inner engines, see :mod:`repro.core.sharded`),
+    ``partitioner`` (the subscription placement strategy, default
+    ``"hash"``; ``"routed"`` adds event-space shard pruning) and
     ``executor`` (the shard evaluation strategy, default ``"serial"``).
     ``EngineSpec("noncanonical×4")`` is shorthand for
     ``EngineSpec("noncanonical", {"shards": 4})`` — sharded configs
@@ -169,6 +171,7 @@ class EngineSpec:
         """
         options = dict(self.options)
         shards = options.pop("shards", None)
+        partitioner = options.pop("partitioner", None)
         executor = options.pop("executor", None)
         if shards is not None:
             from .sharded import ShardedEngine
@@ -176,6 +179,7 @@ class EngineSpec:
             return ShardedEngine(
                 EngineSpec(self.name, options),
                 shards=shards,
+                partitioner=partitioner if partitioner is not None else "hash",
                 executor=executor if executor is not None else "serial",
                 registry=registry,
                 indexes=indexes,
@@ -183,6 +187,11 @@ class EngineSpec:
         if executor is not None:
             raise ValueError(
                 "the executor= option is only meaningful together with shards="
+            )
+        if partitioner is not None:
+            raise ValueError(
+                "the partitioner= option is only meaningful together with "
+                "shards="
             )
         return _FACTORIES[self.name](registry=registry, indexes=indexes, **options)
 
@@ -254,15 +263,20 @@ def spec_of(engine: FilterEngine) -> EngineSpec:
     Captures engine *identity*, not construction options — round-trips
     the name (``build_engine(name)`` → ``spec_of(...)`` → same name).
     For a sharded engine, identity includes the partitioning itself:
-    inner-engine name plus ``shards``/``executor``.
+    inner-engine name plus ``shards``/``executor`` (and ``partitioner``
+    when it differs from the ``"hash"`` default, keeping pre-routing
+    specs round-trip-stable).
     """
     from .sharded import ShardedEngine
 
     if isinstance(engine, ShardedEngine):
-        return EngineSpec(
-            engine.spec.name,
-            {"shards": engine.shard_count, "executor": engine.executor_name},
-        )
+        options: dict[str, Any] = {
+            "shards": engine.shard_count,
+            "executor": engine.executor_name,
+        }
+        if engine.partitioner_name != "hash":
+            options["partitioner"] = engine.partitioner_name
+        return EngineSpec(engine.spec.name, options)
     name = _CLASSES.get(type(engine))
     if name is None:
         name = _ALIASES.get(engine.name)

@@ -5,15 +5,16 @@ subscriptions needs the registered population split across several
 independent matchers whose answers are unioned.  This module provides
 that as a first-class engine: :class:`ShardedEngine` partitions
 subscriptions across ``N`` inner shards — each built from any
-:class:`~repro.core.registry.EngineSpec` — and evaluates them through a
+:class:`~repro.core.registry.EngineSpec` — places them through a
+pluggable :class:`ShardPartitioner`, and evaluates them through a
 pluggable :class:`ShardExecutor` strategy.
 
 Three properties make the design sound:
 
-* **partitioning is a pure function of the subscription id**
-  (:func:`shard_index`, a Knuth multiplicative hash), so ``register``,
-  ``unregister`` and worker rebuilds all route identically without any
-  shared lookup table;
+* **the partitioner owns the subscription→shard map** and every mutation
+  flows through it (``assign`` on register, ``forget`` on unregister,
+  ``plan_rebalance`` moves), so ``register``, ``unregister``, worker
+  rebuilds and event routing always agree on who owns what;
 * **shards share the parent's phase-1 state** (predicate registry and
   index manager), so a fulfilled-predicate-id set means the same thing
   to every shard and ``match_fulfilled`` is simply the union of the
@@ -23,6 +24,28 @@ Three properties make the design sound:
   executor's fork workers rebuild their shard from the inner spec plus
   their subscription slice (private registry, private indexes) and only
   events and matched ids ever cross the process boundary.
+
+Partitioner strategies
+----------------------
+``hash``
+    :func:`shard_index`, a Knuth multiplicative hash of the subscription
+    id.  Stateless and perfectly balanced, but *blind*: every event must
+    visit every shard, so serial sharding is pure overhead (the BENCH_4
+    sweeps show negative serial scaling).  The default, preserving the
+    PR 3 behavior.
+``routed``
+    :class:`RoutedPartitioner` — places each subscription into an
+    **event-space region group** derived from its expression summary
+    (:func:`repro.subscriptions.summary.summarize`, shared with the
+    covering index): subscriptions whose every DNF clause pins an
+    attribute to a point are grouped by that anchor value set;
+    subscriptions with tight interval hulls are grouped by hull
+    signature; everything else lands in a universal group.  Whole groups
+    map to shards, and a per-event digest probe (point lookups over the
+    anchor index, interval admission over the merged scan hulls) yields
+    the *candidate shard subset* — pruned shards are never probed, which
+    is where the serial speedup comes from.  Group loads feed a greedy
+    rebalancer that migrates whole groups off overloaded shards.
 
 Executor strategies
 -------------------
@@ -42,7 +65,9 @@ Executor strategies
     :meth:`ShardedEngine.match_batch` is routed to workers — phase-2-only
     entry points (``match_fulfilled``) take fulfilled predicate ids that
     are parent-registry-relative, which a rebuilt worker cannot
-    interpret, so they fall back to the in-process shards.
+    interpret, so they fall back to the in-process shards.  Routed
+    pruning composes: each worker receives only the events its shard is
+    a candidate for.
 """
 
 from __future__ import annotations
@@ -51,12 +76,14 @@ import abc
 import multiprocessing
 import traceback
 from concurrent.futures import ThreadPoolExecutor
-from typing import AbstractSet, Callable, Mapping, Sequence, TypeVar
+from typing import AbstractSet, Callable, Iterable, Mapping, Sequence, TypeVar
 
 from ..events.event import Event
 from ..indexes.manager import IndexManager
+from ..memory.cost_model import DEFAULT_COST_MODEL, CostModel
 from ..predicates.registry import PredicateRegistry
 from ..subscriptions.subscription import Subscription
+from ..subscriptions.summary import interval_admits, summarize
 from .base import FilterEngine, MatchCounters, UnknownSubscriptionError
 from .registry import EngineSpec
 
@@ -86,6 +113,448 @@ def shard_index(subscription_id: int, shard_count: int) -> int:
 
 
 # ----------------------------------------------------------------------
+# partitioner strategies
+# ----------------------------------------------------------------------
+class ShardPartitioner(abc.ABC):
+    """Strategy that places subscriptions on shards and routes events.
+
+    A partitioner is bound to a shard count (:meth:`bind`) before any
+    placement.  The engine calls :meth:`assign` on register (the
+    partitioner remembers the placement), :meth:`forget` on unregister,
+    and :meth:`shard_of` whenever it needs the current owner.  Routing
+    partitioners (:attr:`routes` true) additionally narrow the per-event
+    shard fan-out through :meth:`candidate_shards` and propose load
+    migrations through :meth:`plan_rebalance`.
+
+    **Soundness contract of** :meth:`candidate_shards`: the returned
+    set must contain the shard of *every* subscription the event could
+    match — over-approximation is fine (it only costs a probe), an
+    omission loses matches.
+    """
+
+    #: Strategy name as it appears in specs and ``partitioner=`` options.
+    name: str = "abstract"
+    #: Whether :meth:`candidate_shards` ever prunes (``False`` lets the
+    #: engine skip per-event routing work entirely).
+    routes: bool = False
+
+    def bind(self, shard_count: int) -> None:
+        """Fix the shard count; called once, before any placement."""
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        self.shard_count = shard_count
+
+    @abc.abstractmethod
+    def assign(self, subscription: Subscription) -> int:
+        """Place ``subscription`` and return its shard (remembered)."""
+
+    def forget(self, subscription_id: int) -> None:
+        """Drop the placement of ``subscription_id``."""
+
+    @abc.abstractmethod
+    def shard_of(self, subscription_id: int) -> int:
+        """The shard currently owning ``subscription_id``."""
+
+    def candidate_shards(self, event: Event) -> Iterable[int]:
+        """Shards that may hold a subscription matching ``event``."""
+        return range(self.shard_count)
+
+    def plan_rebalance(self) -> list[tuple[int, int, int]]:
+        """Load-balancing moves as ``(subscription_id, src, dst)`` tuples.
+
+        The partitioner updates its own placement map before returning;
+        the engine applies the corresponding shard/worker migrations.
+        An empty list means the placement is balanced enough.
+        """
+        return []
+
+    def memory_breakdown(self) -> Mapping[str, int]:
+        """Bytes of partitioner-owned routing state (paper cost model).
+
+        Charged by :meth:`ShardedEngine.memory_breakdown` on top of the
+        shards' own structures — routing digests are real phase-2 memory
+        and hiding them would flatter the routed configurations.
+        """
+        return {}
+
+
+class HashPartitioner(ShardPartitioner):
+    """Stateless id-hash placement — every event visits every shard.
+
+    The PR 3 behavior and the default.  Placement is a pure function of
+    the subscription id, so there is nothing to remember, nothing to
+    rebalance, and zero bytes of routing state (``shards=1`` hash
+    configurations stay memory-identical to the unsharded engine).
+    """
+
+    name = "hash"
+    routes = False
+
+    def assign(self, subscription: Subscription) -> int:
+        return shard_index(subscription.subscription_id, self.shard_count)
+
+    def shard_of(self, subscription_id: int) -> int:
+        return shard_index(subscription_id, self.shard_count)
+
+
+class _RegionGroup:
+    """One event-space region: a set of co-routed subscriptions.
+
+    Groups are the unit of placement *and* migration — every member
+    lives on :attr:`shard`, and rebalancing moves whole groups so the
+    routing digest never has to split a region across shards.  Scan
+    groups carry merged admission ``hulls`` (grow-only: member removal
+    never shrinks them, which keeps removal O(1) at the cost of
+    admitting conservatively until the group empties and is dropped).
+    """
+
+    __slots__ = ("key", "shard", "members", "hulls")
+
+    def __init__(self, key: tuple, shard: int) -> None:
+        self.key = key
+        self.shard = shard
+        self.members: set[int] = set()
+        self.hulls: dict = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"_RegionGroup(key={self.key!r}, shard={self.shard}, "
+            f"members={len(self.members)})"
+        )
+
+
+_UNIVERSAL_KEY = ("universal",)
+
+
+class RoutedPartitioner(ShardPartitioner):
+    """Region-based placement with per-event shard pruning.
+
+    Placement
+        Each subscription's expression summary
+        (:func:`~repro.subscriptions.summary.summarize` — the same
+        cached derivation the covering index uses) yields a region key:
+
+        * ``("anchor", attr, values)`` when every satisfiable DNF clause
+          pins ``attr`` to a point — the hot-key case; the group is
+          registered in a point index under each anchor value;
+        * ``("hulls", attrs)`` when the summary has tight interval
+          hulls — the group is scanned with merged hull admission;
+        * the universal key otherwise (no prunable structure): its group
+          admits every event.
+
+        A new anchor group goes to the **home shard** of its smallest
+        anchor value (first-come, least-loaded; sticky thereafter), so
+        every group touching a key co-locates with that key's other
+        groups — an event for the key then resolves to one or two
+        shards instead of wherever load-balancing happened to scatter
+        them.  Non-anchor groups go to the least-loaded shard.  Later
+        members always follow their group (regions stay whole).
+
+    Routing
+        ``candidate_shards(event)`` unions the shards of (a) every scan
+        group whose merged hulls admit the event — an event missing a
+        hull attribute, or carrying a value outside the hull, cannot
+        match any member (hull tightness, see the summary module) — and
+        (b) every anchor group found by point lookup on the event's
+        attribute values.  Everything else is pruned.
+
+    Rebalancing
+        When the max shard load exceeds ``imbalance_factor ×`` the mean,
+        whole groups migrate greedily from the most- to the least-loaded
+        shard, each move strictly lowering the peak; ``migrations``
+        counts accepted moves.  Single-group skew (one giant region)
+        cannot be split and is left alone.
+    """
+
+    name = "routed"
+    routes = True
+
+    def __init__(
+        self,
+        *,
+        imbalance_factor: float = 1.5,
+        max_clauses: int = 4_096,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        if imbalance_factor < 1.0:
+            raise ValueError("imbalance_factor must be at least 1.0")
+        self.imbalance_factor = imbalance_factor
+        self.max_clauses = max_clauses
+        self._cost_model = cost_model
+        #: accepted group migrations (rebalance effectiveness signal)
+        self.migrations = 0
+        self._assignments: dict[int, _RegionGroup] = {}
+        self._groups: dict[tuple, _RegionGroup] = {}
+        #: attr -> anchor value -> groups anchored there (point probes)
+        self._point_index: dict[str, dict] = {}
+        #: hull/universal groups, admission-scanned per event
+        self._scan_groups: set[_RegionGroup] = set()
+        #: (attr, anchor value) -> sticky home shard for new groups
+        self._value_homes: dict[tuple, int] = {}
+        self._loads: list[int] = []
+
+    def bind(self, shard_count: int) -> None:
+        super().bind(shard_count)
+        self._loads = [0] * shard_count
+
+    # -- placement ------------------------------------------------------
+    def _region_key(self, subscription: Subscription) -> tuple:
+        summary = summarize(
+            subscription.expression, max_clauses=self.max_clauses
+        )
+        anchors = summary.anchors
+        if anchors:
+            attribute = min(anchors)
+            return ("anchor", attribute, anchors[attribute])
+        if summary.hulls:
+            return ("hulls", frozenset(summary.hulls))
+        return _UNIVERSAL_KEY
+
+    def assign(self, subscription: Subscription) -> int:
+        sid = subscription.subscription_id
+        key = self._region_key(subscription)
+        group = self._groups.get(key)
+        if group is None:
+            shard = self._place(key)
+            group = _RegionGroup(key, shard)
+            self._groups[key] = group
+            if key[0] == "anchor":
+                attr_map = self._point_index.setdefault(key[1], {})
+                for value in key[2]:
+                    attr_map.setdefault(value, set()).add(group)
+            else:
+                self._scan_groups.add(group)
+        if key[0] == "hulls":
+            self._merge_hulls(group, subscription)
+        group.members.add(sid)
+        self._assignments[sid] = group
+        self._loads[group.shard] += 1
+        return group.shard
+
+    def _place(self, key: tuple) -> int:
+        """The shard a brand-new region group starts on.
+
+        Anchor groups pin to the sticky home of their smallest anchor
+        value: subscriptions sharing a key end up on the same shard, so
+        an event for that key prunes everything else.  Spreading such
+        groups by load instead would drag every key's interest onto
+        every shard and leave nothing to prune — load problems are the
+        rebalancer's job, not placement's.
+        """
+        loads = self._loads
+        if key[0] == "anchor":
+            # keyed by the smallest anchor value; repr-ordered so mixed
+            # value domains stay deterministic instead of raising
+            anchor = min(key[2], key=lambda v: (type(v).__name__, repr(v)))
+            home_key = (key[1], anchor)
+            home = self._value_homes.get(home_key)
+            if home is None:
+                home = min(range(self.shard_count), key=loads.__getitem__)
+                self._value_homes[home_key] = home
+            return home
+        return min(range(self.shard_count), key=loads.__getitem__)
+
+    @staticmethod
+    def _admission_hulls(summary) -> dict:
+        """The tightest sound admission interval per tight attribute.
+
+        ``summary.hulls`` guarantees *presence* (every clause carries a
+        positive interval literal, so a matching event must carry the
+        attribute) but unions literal-level intervals — for a range
+        subscription like ``value > 10 and value < 20`` that union is
+        unbounded.  ``summary.clause_hulls`` holds the per-clause
+        *intersection* hull (the event value must satisfy every positive
+        literal of some clause), which is tight for exactly those
+        shapes; fall back to the literal hull when the clause hull is
+        unusable (cross-domain bounds or unsatisfiable).
+        """
+        hulls = {}
+        for attribute, hull in summary.hulls.items():
+            clause_hull = summary.clause_hulls.get(attribute)
+            hulls[attribute] = (
+                clause_hull if isinstance(clause_hull, tuple) else hull
+            )
+        return hulls
+
+    def _merge_hulls(self, group: _RegionGroup, subscription: Subscription) -> None:
+        """Grow the group's admission hulls to cover the new member."""
+        from ..subscriptions.summary import _hull
+
+        summary = summarize(
+            subscription.expression, max_clauses=self.max_clauses
+        )
+        incoming_hulls = self._admission_hulls(summary)
+        if not group.members:
+            group.hulls = incoming_hulls
+            return
+        for attribute in list(group.hulls):
+            incoming = incoming_hulls[attribute]
+            try:
+                group.hulls[attribute] = _hull(group.hulls[attribute], incoming)
+            except TypeError:
+                # cross-domain members: no usable interval on this
+                # attribute any more — admission falls back to presence
+                del group.hulls[attribute]
+
+    def forget(self, subscription_id: int) -> None:
+        group = self._assignments.pop(subscription_id)
+        group.members.discard(subscription_id)
+        self._loads[group.shard] -= 1
+        if group.members:
+            return
+        del self._groups[group.key]
+        key = group.key
+        if key[0] == "anchor":
+            attr_map = self._point_index.get(key[1], {})
+            for value in key[2]:
+                groups = attr_map.get(value)
+                if groups is not None:
+                    groups.discard(group)
+                    if not groups:
+                        del attr_map[value]
+            if not attr_map:
+                self._point_index.pop(key[1], None)
+        else:
+            self._scan_groups.discard(group)
+
+    def shard_of(self, subscription_id: int) -> int:
+        return self._assignments[subscription_id].shard
+
+    # -- routing --------------------------------------------------------
+    def candidate_shards(self, event: Event) -> set[int]:
+        shard_count = self.shard_count
+        shards: set[int] = set()
+        for group in self._scan_groups:
+            if group.shard in shards:
+                continue
+            for attribute, hull in group.hulls.items():
+                value = event.get(attribute)
+                if value is None or not interval_admits(hull, value):
+                    break
+            else:
+                shards.add(group.shard)
+                if len(shards) == shard_count:
+                    return shards
+        for attribute, value_map in self._point_index.items():
+            value = event.get(attribute)
+            if value is None:
+                continue
+            groups = value_map.get(value)
+            if not groups:
+                continue
+            for group in groups:
+                shards.add(group.shard)
+            if len(shards) == shard_count:
+                return shards
+        return shards
+
+    # -- rebalancing ----------------------------------------------------
+    def plan_rebalance(self) -> list[tuple[int, int, int]]:
+        if self.shard_count <= 1:
+            return []
+        loads = self._loads
+        total = sum(loads)
+        if not total:
+            return []
+        threshold = self.imbalance_factor * (total / self.shard_count)
+        if max(loads) <= threshold:
+            return []
+        moves: list[tuple[int, int, int]] = []
+        moved: set[int] = set()
+        while max(loads) > threshold:
+            src = max(range(self.shard_count), key=loads.__getitem__)
+            dst = min(range(self.shard_count), key=loads.__getitem__)
+            best: _RegionGroup | None = None
+            for group in self._groups.values():
+                if group.shard != src or id(group) in moved:
+                    continue
+                size = len(group.members)
+                # only moves that strictly lower the peak terminate the
+                # loop; anything else could oscillate forever
+                if size and loads[dst] + size < loads[src]:
+                    if best is None or size > len(best.members):
+                        best = group
+            if best is None:
+                break
+            moved.add(id(best))
+            size = len(best.members)
+            loads[src] -= size
+            loads[dst] += size
+            best.shard = dst
+            self.migrations += 1
+            moves.extend((sid, src, dst) for sid in sorted(best.members))
+        return moves
+
+    # -- memory ---------------------------------------------------------
+    def memory_breakdown(self) -> Mapping[str, int]:
+        """Routing-digest bytes under the paper's cost model.
+
+        One location-table entry per placed subscription, one keyed slot
+        per group (plus two interval bounds per merged hull), and one
+        keyed slot plus a group pointer per point-index posting — the
+        same per-entry constants the engines' association/location
+        tables use, so routed and hash configurations compare fairly.
+        """
+        model = self._cost_model
+        total = model.location_table_bytes(len(self._assignments))
+        total += len(self._value_homes) * (
+            model.table_entry_overhead_bytes + model.pointer_bytes
+        )
+        for group in self._groups.values():
+            total += model.table_entry_overhead_bytes + model.pointer_bytes
+            total += len(group.hulls) * 2 * model.pointer_bytes
+        for value_map in self._point_index.values():
+            total += model.table_entry_overhead_bytes
+            for groups in value_map.values():
+                total += (
+                    model.table_entry_overhead_bytes
+                    + len(groups) * model.pointer_bytes
+                )
+        return {"shard_router": total}
+
+
+#: partitioner name -> zero-argument strategy factory
+_PARTITIONERS: dict[str, Callable[[], ShardPartitioner]] = {}
+
+
+def register_partitioner(
+    name: str, factory: Callable[[], ShardPartitioner], *, override: bool = False
+) -> None:
+    """Add a partitioner strategy under ``name`` (pluggable, like engines)."""
+    if not name:
+        raise ValueError("partitioner name must be non-empty")
+    if name in _PARTITIONERS and not override:
+        raise ValueError(
+            f"partitioner {name!r} is already registered; pass override=True "
+            "to replace it"
+        )
+    _PARTITIONERS[name] = factory
+
+
+def partitioner_names() -> tuple[str, ...]:
+    """The registered partitioner strategy names, in registration order."""
+    return tuple(_PARTITIONERS)
+
+
+def make_partitioner(partitioner: ShardPartitioner | str) -> ShardPartitioner:
+    """Resolve a partitioner strategy instance or registered name."""
+    if isinstance(partitioner, ShardPartitioner):
+        return partitioner
+    try:
+        factory = _PARTITIONERS[partitioner]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; registered partitioners: "
+            f"{', '.join(partitioner_names())}"
+        ) from None
+    return factory()
+
+
+register_partitioner("hash", HashPartitioner)
+register_partitioner("routed", RoutedPartitioner)
+
+
+# ----------------------------------------------------------------------
 # executor strategies
 # ----------------------------------------------------------------------
 class ShardExecutor(abc.ABC):
@@ -96,9 +565,10 @@ class ShardExecutor(abc.ABC):
     (:meth:`notify_register` / :meth:`notify_unregister`), and is closed
     with the engine.  The two evaluation hooks:
 
-    * :meth:`map_shards` runs one zero-argument job per shard against
-      the engine's *in-process* shards and returns their results in
-      shard order — phase-2 work (``match_fulfilled``) flows through it;
+    * :meth:`map_shards` runs the given zero-argument jobs (one per
+      *candidate* shard — routed configurations may pass fewer jobs than
+      shards) and returns their results in job order — phase-2 work
+      (``match_fulfilled``) flows through it;
     * :meth:`match_batch_events` may claim full two-phase batch matching
       (events in, per-event matched-id sets out); returning ``None``
       defers to the in-process pipeline.
@@ -123,11 +593,21 @@ class ShardExecutor(abc.ABC):
 
     @abc.abstractmethod
     def map_shards(self, jobs: Sequence[Callable[[], T]]) -> list[T]:
-        """Run one job per shard; return results in shard order."""
+        """Run the per-shard jobs; return results in job order."""
 
-    def match_batch_events(self, events: Sequence[Event]) -> list[set[int]] | None:
+    def match_batch_events(
+        self,
+        events: Sequence[Event],
+        shard_events: Sequence[Sequence[int]] | None = None,
+    ) -> list[set[int]] | None:
         """Full two-phase batch matching, or ``None`` to use the
-        in-process phase-1 + ``match_fulfilled_batch`` pipeline."""
+        in-process phase-1 + ``match_fulfilled_batch`` pipeline.
+
+        ``shard_events[s]``, when given, lists (ascending) the indices
+        of the events shard ``s`` is a candidate for — the executor must
+        evaluate only those and may skip shards with an empty list.
+        ``None`` means every shard sees every event.
+        """
         return None
 
 
@@ -153,7 +633,8 @@ class ThreadExecutor(ShardExecutor):
             return [job() for job in jobs]
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
-                max_workers=len(jobs), thread_name_prefix="repro-shard"
+                max_workers=self._engine.shard_count,
+                thread_name_prefix="repro-shard",
             )
         return list(self._pool.map(lambda job: job(), jobs))
 
@@ -325,31 +806,45 @@ class ProcessExecutor(ShardExecutor):
         # which a rebuilt worker cannot interpret; run it in-process.
         return [job() for job in jobs]
 
-    def match_batch_events(self, events: Sequence[Event]) -> list[set[int]]:
+    def match_batch_events(
+        self,
+        events: Sequence[Event],
+        shard_events: Sequence[Sequence[int]] | None = None,
+    ) -> list[set[int]]:
         self._ensure_started()
-        # Scatter the whole batch to every worker first, then gather —
-        # the send/recv split is where the parallelism comes from.
         payload = list(events)
-        per_shard: list[list[set[int]]] = []
+        if shard_events is None:
+            shard_events = [range(len(payload))] * len(self._connections)
+        live = [
+            (shard, list(indices))
+            for shard, indices in enumerate(shard_events)
+            if indices
+        ]
+        results: list[set[int]] = [set() for _ in payload]
+        # Scatter each worker's candidate-event subset first, then
+        # gather — the send/recv split is where the parallelism comes
+        # from, and pruned shards are never contacted at all.
         try:
-            for connection in self._connections:
-                connection.send(("match_batch", payload))
-            for shard, connection in enumerate(self._connections):
-                status, result = connection.recv()
+            for shard, indices in live:
+                if len(indices) == len(payload):
+                    subset = payload
+                else:
+                    subset = [payload[i] for i in indices]
+                self._connections[shard].send(("match_batch", subset))
+            for shard, indices in live:
+                status, result = self._connections[shard].recv()
                 if status != "ok":
                     raise ShardWorkerError(
                         f"shard worker {shard} failed on 'match_batch':\n{result}"
                     )
-                per_shard.append(result)
+                for position, index in enumerate(indices):
+                    results[index] |= result[position]
         except BaseException:
             # fail-stop: a half-drained pool would misalign every later
             # round-trip; the next call restarts from parent state
             self.close()
             raise
-        return [
-            set().union(*(shard_sets[i] for shard_sets in per_shard))
-            for i in range(len(payload))
-        ]
+        return results
 
 
 #: executor name -> zero-argument strategy factory
@@ -409,6 +904,9 @@ class ShardedEngine(FilterEngine):
         itself be sharded (no nesting).
     shards:
         Number of inner shards (>= 1).
+    partitioner:
+        Placement strategy: a registered name (``"hash"``, ``"routed"``)
+        or a :class:`ShardPartitioner` instance.
     executor:
         Evaluation strategy: a registered name (``"serial"``,
         ``"thread"``, ``"process"``) or a :class:`ShardExecutor`
@@ -425,6 +923,7 @@ class ShardedEngine(FilterEngine):
         spec: EngineSpec | str | None = None,
         *,
         shards: int = 2,
+        partitioner: ShardPartitioner | str = "hash",
         executor: ShardExecutor | str = "serial",
         registry: PredicateRegistry | None = None,
         indexes: IndexManager | None = None,
@@ -436,7 +935,10 @@ class ShardedEngine(FilterEngine):
             spec = EngineSpec("noncanonical")
         elif isinstance(spec, str):
             spec = EngineSpec(spec)
-        if "shards" in spec.options or "executor" in spec.options:
+        if any(
+            option in spec.options
+            for option in ("shards", "executor", "partitioner")
+        ):
             raise ValueError(
                 f"inner spec {spec!r} is itself sharded; nested sharding "
                 "is not supported"
@@ -448,6 +950,8 @@ class ShardedEngine(FilterEngine):
             for _ in range(shards)
         ]
         self._subscriptions: dict[int, Subscription] = {}
+        self._partitioner = make_partitioner(partitioner)
+        self._partitioner.bind(shards)
         self._executor = make_executor(executor)
         self._executor.bind(self)
         self.name = f"{self._shards[0].name}×{shards}"
@@ -470,13 +974,23 @@ class ShardedEngine(FilterEngine):
         return self._executor.name
 
     @property
+    def partitioner_name(self) -> str:
+        """Name of the active partitioner strategy."""
+        return self._partitioner.name
+
+    @property
+    def partitioner(self) -> ShardPartitioner:
+        """The active partitioner strategy instance."""
+        return self._partitioner
+
+    @property
     def shards(self) -> tuple[FilterEngine, ...]:
         """The in-process shard engines, in shard order."""
         return tuple(self._shards)
 
     def shard_of(self, subscription_id: int) -> int:
-        """The shard owning ``subscription_id`` (pure partitioner)."""
-        return shard_index(subscription_id, self.shard_count)
+        """The shard currently owning ``subscription_id``."""
+        return self._partitioner.shard_of(subscription_id)
 
     def shard_subscription_slices(self) -> list[list[Subscription]]:
         """Per-shard subscription lists, each in registration (id) order.
@@ -502,15 +1016,18 @@ class ShardedEngine(FilterEngine):
     def counters(self) -> MatchCounters:
         """Aggregated phase-2 work counters, summed across the shards.
 
-        In-process work only: batches the process executor routes to its
-        fork workers are probed in the workers, not here.
+        The parent contributes its own routing counters
+        (``shards_probed``/``shards_pruned``); probe work is in-process
+        only — batches the process executor routes to its fork workers
+        are probed in the workers, not here.
         """
-        total = MatchCounters()
+        total = MatchCounters(**self._counters.snapshot())
         for shard in self._shards:
             total = total + shard.counters
         return total
 
     def reset_counters(self) -> None:
+        self._counters.reset()
         for shard in self._shards:
             shard.reset_counters()
 
@@ -518,29 +1035,51 @@ class ShardedEngine(FilterEngine):
         entry = super().stats()
         entry["shards"] = self.shard_count
         entry["executor"] = self.executor_name
+        entry["partitioner"] = self.partitioner_name
         return entry
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def register(self, subscription: Subscription) -> None:
-        """Route to the owning shard; the executor mirrors the change."""
+        """Route to the shard the partitioner picks; mirror the change."""
         sid = subscription.subscription_id
         if sid in self._subscriptions:
             raise ValueError(f"subscription id {sid} already registered")
-        shard = self.shard_of(sid)
-        # may raise UnsupportedSubscriptionError — before any bookkeeping
-        self._shards[shard].register(subscription)
+        shard = self._partitioner.assign(subscription)
+        try:
+            # may raise UnsupportedSubscriptionError
+            self._shards[shard].register(subscription)
+        except BaseException:
+            self._partitioner.forget(sid)
+            raise
         self._subscriptions[sid] = subscription
         self._executor.notify_register(shard, subscription)
+        self._maybe_rebalance()
 
     def unregister(self, subscription_id: int) -> None:
         if subscription_id not in self._subscriptions:
             raise UnknownSubscriptionError(subscription_id)
-        shard = self.shard_of(subscription_id)
+        shard = self._partitioner.shard_of(subscription_id)
         self._shards[shard].unregister(subscription_id)
+        self._partitioner.forget(subscription_id)
         del self._subscriptions[subscription_id]
         self._executor.notify_unregister(shard, subscription_id)
+        self._maybe_rebalance()
+
+    def _maybe_rebalance(self) -> None:
+        """Apply the partitioner's migration plan, if any.
+
+        Moves flow through the ordinary shard register/unregister calls
+        plus the executor notify protocol, so process workers receive
+        the same migrations the in-process shards do and stay current.
+        """
+        for sid, src, dst in self._partitioner.plan_rebalance():
+            subscription = self._subscriptions[sid]
+            self._shards[src].unregister(sid)
+            self._shards[dst].register(subscription)
+            self._executor.notify_unregister(src, sid)
+            self._executor.notify_register(dst, subscription)
 
     @property
     def subscription_count(self) -> int:
@@ -556,8 +1095,29 @@ class ShardedEngine(FilterEngine):
     # ------------------------------------------------------------------
     # matching
     # ------------------------------------------------------------------
+    def match(self, event: Event) -> set[int]:
+        """Two-phase matching with shard pruning: phase 1 runs once, and
+        phase 2 visits only the partitioner's candidate shards."""
+        candidates = sorted(self._partitioner.candidate_shards(event))
+        self._counters.shards_probed += len(candidates)
+        self._counters.shards_pruned += self.shard_count - len(candidates)
+        if not candidates:
+            return set()
+        fulfilled = self.indexes.match(event)
+        answers = self._executor.map_shards(
+            [
+                lambda shard=shard: self._shards[shard].match_fulfilled(fulfilled)
+                for shard in candidates
+            ]
+        )
+        return set().union(*answers)
+
     def match_fulfilled(self, fulfilled_ids: AbstractSet[int]) -> set[int]:
-        """Union of the shards' phase-2 answers, via the executor."""
+        """Union of the shards' phase-2 answers, via the executor.
+
+        No event is in scope here, so no shard pruning: fulfilled ids
+        alone cannot tell which event-space region produced them.
+        """
         answers = self._executor.map_shards(
             [
                 lambda shard=shard: shard.match_fulfilled(fulfilled_ids)
@@ -580,22 +1140,86 @@ class ShardedEngine(FilterEngine):
             for i in range(len(fulfilled_sets))
         ]
 
+    def _partition_events(self, events: Sequence[Event]) -> list[list[int]]:
+        """Per-shard candidate-event index lists (ascending), counted.
+
+        ``result[s]`` holds the indices of the events shard ``s`` must
+        evaluate; events routed away from a shard are counted as pruned.
+        """
+        shard_events: list[list[int]] = [[] for _ in range(self.shard_count)]
+        probed = 0
+        partitioner = self._partitioner
+        for index, event in enumerate(events):
+            candidates = partitioner.candidate_shards(event)
+            for shard in candidates:
+                shard_events[shard].append(index)
+            probed += len(candidates)
+        self._counters.shards_probed += probed
+        self._counters.shards_pruned += (
+            self.shard_count * len(events) - probed
+        )
+        return shard_events
+
     def match_batch(self, events: Sequence[Event]) -> list[set[int]]:
         """Batch matching; the executor may claim the whole pipeline.
 
-        The process executor routes the events to its workers (each runs
-        both phases over its slice, rebuilding private bit layouts from
-        the spec); the in-process strategies run one shared phase-1 pass
-        and fan phase 2 out across the shards — in column-major bit form
-        when every shard speaks the PR 8 kernel, as per-event id sets
+        A routing partitioner first computes each event's candidate
+        shard subset; pruned shards are never probed.  The process
+        executor then ships each worker only its candidate events; the
+        in-process strategies run one shared phase-1 pass and fan
+        phase 2 out across the candidate shards — sliced from one
+        column-major bit matrix (:meth:`FulfilledMatrix.select`) when
+        every shard speaks the PR 8 kernel, as per-event id sets
         otherwise.
         """
         events = list(events)
         if not events:
             return []
-        routed = self._executor.match_batch_events(events)
+        if self._partitioner.routes:
+            shard_events = self._partition_events(events)
+        else:
+            shard_events = None
+            self._counters.shards_probed += self.shard_count * len(events)
+        routed = self._executor.match_batch_events(events, shard_events)
         if routed is not None:
             return routed
+        if shard_events is None:
+            return self._match_batch_all(events)
+        results: list[set[int]] = [set() for _ in events]
+        live = [
+            (shard, indices)
+            for shard, indices in enumerate(shard_events)
+            if indices
+        ]
+        if not live:
+            return results
+        if self._matrix_capable and len(events) > 1:
+            matrix = self.indexes.match_batch_bits(events)
+            answers = self._executor.map_shards(
+                [
+                    lambda shard=shard, indices=indices: self._shards[
+                        shard
+                    ].match_fulfilled_matrix(matrix.select(indices))
+                    for shard, indices in live
+                ]
+            )
+        else:
+            fulfilled = self.indexes.match_batch(events)
+            answers = self._executor.map_shards(
+                [
+                    lambda shard=shard, indices=indices: self._shards[
+                        shard
+                    ].match_fulfilled_batch([fulfilled[i] for i in indices])
+                    for shard, indices in live
+                ]
+            )
+        for (shard, indices), shard_sets in zip(live, answers):
+            for position, index in enumerate(indices):
+                results[index] |= shard_sets[position]
+        return results
+
+    def _match_batch_all(self, events: list[Event]) -> list[set[int]]:
+        """Full-fan-out batch path (non-routing partitioners)."""
         if self._matrix_capable and len(events) > 1:
             matrix = self.indexes.match_batch_bits(events)
             answers = self._executor.map_shards(
@@ -608,17 +1232,28 @@ class ShardedEngine(FilterEngine):
                 set().union(*(shard_sets[i] for shard_sets in answers))
                 for i in range(len(events))
             ]
-        return super().match_batch(events)
+        return self.match_fulfilled_batch(self.indexes.match_batch(events))
 
     # ------------------------------------------------------------------
     # memory accounting
     # ------------------------------------------------------------------
     def memory_breakdown(self) -> Mapping[str, int]:
-        """Aggregated per-structure bytes, summed across shards."""
+        """Aggregated per-structure bytes, summed across shards.
+
+        The partitioner's routing digest is charged on top (key
+        ``shard_router``): region groups, merged hulls and the anchor
+        point index are phase-2 state the routed configuration pays for
+        its pruning, exactly like the engines' own tables — see the
+        memory-policy note in DESIGN §9/§10.  The hash partitioner
+        charges nothing, keeping ``shards=1`` memory identical to the
+        unsharded engine.
+        """
         total: dict[str, int] = {}
         for shard in self._shards:
             for key, value in shard.memory_breakdown().items():
                 total[key] = total.get(key, 0) + value
+        for key, value in self._partitioner.memory_breakdown().items():
+            total[key] = total.get(key, 0) + value
         return total
 
     # ------------------------------------------------------------------
@@ -639,6 +1274,7 @@ class ShardedEngine(FilterEngine):
     def __repr__(self) -> str:
         return (
             f"ShardedEngine({self.spec.name!r}, shards={self.shard_count}, "
+            f"partitioner={self.partitioner_name!r}, "
             f"executor={self.executor_name!r}, "
             f"subscriptions={self.subscription_count})"
         )

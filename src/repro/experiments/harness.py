@@ -493,6 +493,7 @@ class ShardScalingPoint:
     seconds: float                # best-of-repeats wall time for them
     events_per_second: float
     speedup: float                # vs the single-shard serial baseline
+    partitioner: str = "hash"     # placement strategy ("hash" at shards=1)
     counters: Mapping[str, float] | None = None  # per-event work averages
     memory_bytes: int = 0         # (aggregated) paper-cost-model bytes
 
@@ -502,6 +503,8 @@ def run_shard_sweep(
     subscription_count: int,
     shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
     executor: str = "serial",
+    partitioner: str = "hash",
+    corpus: str = "paper",
     engines: Sequence | None = None,
     batch_size: int = 256,
     predicates_per_subscription: int = 6,
@@ -522,14 +525,24 @@ def run_shard_sweep(
     by the **unsharded** engine — the single-shard serial baseline,
     reported as the ``shards=1`` point with ``speedup=1.0`` — and by a
     :class:`~repro.core.sharded.ShardedEngine` at every other shard
-    count with the requested ``executor``.  Speedups are relative to
-    that baseline, so a curve above 1.0 means partitioning pays for its
-    coordination.
+    count with the requested ``executor`` and ``partitioner``.  Speedups
+    are relative to that baseline, so a curve above 1.0 means
+    partitioning pays for its coordination.
 
-    With the ``serial`` executor the curve isolates pure partitioning
-    overhead (expect ≈1.0 or slightly below); ``thread`` adds GIL-bound
+    With the ``serial`` executor and the ``hash`` partitioner the curve
+    isolates pure partitioning overhead (expect ≈1.0 or slightly below);
+    the ``routed`` partitioner is where *serial* speedups appear, since
+    pruned shards are never probed; ``thread`` adds GIL-bound
     concurrency; ``process`` is where multi-core speedups appear, since
     each fork worker matches its slice with both phases in parallel.
+
+    ``corpus`` selects the workload: ``"paper"`` is the
+    :class:`PaperSubscriptionGenerator`/:class:`EventGenerator` pair (as
+    in every other sweep); ``"skew"`` is the hot-key scenario
+    (:class:`~repro.workloads.scenarios.SkewedHotKeyScenario`) whose
+    key-anchored subscriptions are the routed partitioner's target —
+    ``subscription_count``/``event_count``/``seed`` apply, the
+    paper-corpus shape knobs do not.
 
     With ``verify_parity``, each sharded configuration's ``match_batch``
     over the first events is checked against the unsharded engine before
@@ -561,21 +574,37 @@ def run_shard_sweep(
 
     registry = PredicateRegistry()
     indexes = IndexManager()
-    subscriptions = PaperSubscriptionGenerator(
-        predicates_per_subscription=predicates_per_subscription,
-        attribute_pool=attribute_pool,
-        seed=seed,
-    ).subscriptions(subscription_count)
-    events = EventGenerator(
-        attribute_pool=attribute_pool,
-        attributes_per_event=attributes_per_event,
-        value_range=value_range,
-        skew=skew,
-        seed=seed + 1,
-    ).events(event_count)
+    if corpus == "paper":
+        subscriptions = PaperSubscriptionGenerator(
+            predicates_per_subscription=predicates_per_subscription,
+            attribute_pool=attribute_pool,
+            seed=seed,
+        ).subscriptions(subscription_count)
+        events = EventGenerator(
+            attribute_pool=attribute_pool,
+            attributes_per_event=attributes_per_event,
+            value_range=value_range,
+            skew=skew,
+            seed=seed + 1,
+        ).events(event_count)
+    elif corpus == "skew":
+        from ..workloads.scenarios import SkewedHotKeyScenario
+
+        scenario = SkewedHotKeyScenario(seed=seed)
+        subscriptions = scenario.subscriptions(subscription_count)
+        events = scenario.events(event_count)
+    else:
+        raise ValueError(f"unknown corpus {corpus!r}; use 'paper' or 'skew'")
     probe = events[:min(32, len(events))]
 
-    def measure(name, engine, shards: int, executor_name: str, speedup_base=None):
+    def measure(
+        name,
+        engine,
+        shards: int,
+        executor_name: str,
+        partitioner_name: str,
+        speedup_base=None,
+    ):
         point = measure_throughput(
             engine, events, batch_size=batch_size, repeats=repeats
         )
@@ -592,6 +621,7 @@ def run_shard_sweep(
                 if speedup_base is None
                 else point.events_per_second / speedup_base
             ),
+            partitioner=partitioner_name,
             counters=point.counters,
             memory_bytes=point.memory_bytes,
         )
@@ -602,7 +632,9 @@ def run_shard_sweep(
         try:
             for subscription in subscriptions:
                 baseline_engine.register(subscription)
-            baseline = measure(spec.name, baseline_engine, 1, "serial")
+            # the unsharded baseline has no placement; like its executor
+            # field it is pinned to the defaults for record stability
+            baseline = measure(spec.name, baseline_engine, 1, "serial", "hash")
             curve = [baseline]
             expected = (
                 baseline_engine.match_batch(probe) if verify_parity else None
@@ -611,7 +643,9 @@ def run_shard_sweep(
                 if shard_count == 1:
                     continue  # the unsharded baseline is the shards=1 point
                 sharded = spec.with_options(
-                    shards=shard_count, executor=executor
+                    shards=shard_count,
+                    executor=executor,
+                    partitioner=partitioner,
                 ).build(registry=registry, indexes=indexes)
                 try:
                     for subscription in subscriptions:
@@ -630,6 +664,7 @@ def run_shard_sweep(
                             sharded,
                             shard_count,
                             executor,
+                            partitioner,
                             speedup_base=baseline.events_per_second,
                         )
                     )

@@ -13,7 +13,9 @@ What makes it cheap:
 * **cached canonical DNF** — each expression's DNF is derived once
   (:func:`~repro.subscriptions.normal_forms.canonical_dnf`) and kept in
   the per-id summary, so no :func:`~repro.subscriptions.covering.covers`
-  call ever re-derives a normal form;
+  call ever re-derives a normal form.  Summaries live in
+  :mod:`repro.subscriptions.summary`, shared with the sharded runtime's
+  routed partitioner — one derivation feeds covering *and* routing;
 * **attribute-signature prefilter** — maximal ids are bucketed by their
   *required attribute set* (attributes appearing in every DNF clause).
   A coverer's required set is necessarily a subset of the covered
@@ -41,221 +43,23 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from ..predicates.operators import Operator
-from . import normal_forms as _normal_forms
-from .ast import BooleanExpression
-from .covering import _bounds, _interval_contains, dnf_covers
-from .normal_forms import (
-    DisjunctiveNormalForm,
-    DnfExplosionError,
-    canonical_dnf,
+from .covering import _interval_contains, dnf_covers
+from .summary import (
+    ExpressionSummary as _Summary,
+    Interval,
+    _hull,
+    _intersect,
+    _pseudo_bounds,
+    summarize,
 )
 
-#: Interval quadruple: (low, high, low_inclusive, high_inclusive) with
-#: ``None`` bounds meaning unbounded — the representation
-#: :func:`repro.subscriptions.covering._bounds` produces.
-Interval = tuple
-
-
-def _hull(first: Interval, second: Interval) -> Interval:
-    """Smallest interval containing both (the convex hull).
-
-    Raises ``TypeError`` on cross-domain bounds (string versus number);
-    callers treat that as "no usable interval summary".
-    """
-    a_low, a_high, a_incl, a_inch = first
-    b_low, b_high, b_incl, b_inch = second
-    if a_low is None or b_low is None:
-        low, incl = None, False
-    elif a_low < b_low or (a_low == b_low and a_incl):
-        low, incl = a_low, a_incl or (a_low == b_low and b_incl)
-    else:
-        low, incl = b_low, b_incl
-    if a_high is None or b_high is None:
-        high, inch = None, False
-    elif a_high > b_high or (a_high == b_high and a_inch):
-        high, inch = a_high, a_inch or (a_high == b_high and b_inch)
-    else:
-        high, inch = b_high, b_inch
-    return (low, high, incl, inch)
-
-
-def _intersect(first: Interval, second: Interval) -> Interval | None:
-    """Interval intersection; ``None`` when empty.
-
-    Raises ``TypeError`` on cross-domain bounds.
-    """
-    a_low, a_high, a_incl, a_inch = first
-    b_low, b_high, b_incl, b_inch = second
-    if a_low is None:
-        low, incl = b_low, b_incl
-    elif b_low is None or a_low > b_low:
-        low, incl = a_low, a_incl
-    elif a_low < b_low:
-        low, incl = b_low, b_incl
-    else:
-        low, incl = a_low, a_incl and b_incl
-    if a_high is None:
-        high, inch = b_high, b_inch
-    elif b_high is None or a_high < b_high:
-        high, inch = a_high, a_inch
-    elif a_high > b_high:
-        high, inch = b_high, b_inch
-    else:
-        high, inch = a_high, a_inch and b_inch
-    if low is not None and high is not None:
-        if low > high or (low == high and not (incl and inch)):
-            return None
-    return (low, high, incl, inch)
-
-
-def _pseudo_bounds(predicate) -> Interval | None:
-    """A value-set bounding interval for prefilter purposes.
-
-    Extends :func:`~repro.subscriptions.covering._bounds` with operators
-    whose value set still fits an interval envelope: ``IN`` (hull of the
-    alternatives) and boolean ``EQ`` (booleans order as 0/1).  Used only
-    on the *covered* side, where a tighter per-clause intersection makes
-    the necessary condition weaker, never stronger.
-    """
-    bounds = _bounds(predicate)
-    if bounds is not None:
-        return bounds
-    operator = predicate.operator
-    value = predicate.value
-    if operator is Operator.IN:
-        values = list(value)
-        try:
-            low, high = min(values), max(values)
-        except TypeError:
-            return None
-        return (low, high, True, True)
-    if operator is Operator.EQ and isinstance(value, bool):
-        return (value, value, True, True)
-    return None
-
-
-@dataclass(frozen=True)
-class _Summary:
-    """Everything the prefilters need about one expression, precomputed.
-
-    ``dnf`` is ``None`` when the canonical derivation exploded past the
-    clause cap — such ids are always maximal and never act as coverers
-    (the exact test conservatively answers ``False`` for them).
-    """
-
-    dnf: DisjunctiveNormalForm | None
-    #: attributes appearing in every DNF clause
-    required: frozenset
-    #: coverer role: attribute -> hull over all positive interval
-    #: literals, present only when *every* clause has at least one
-    hulls: Mapping[str, Interval]
-    #: covered role: attribute -> hull of per-clause intersection
-    #: intervals (``None`` value = unusable, prefilter must pass)
-    clause_hulls: Mapping[str, Interval | None]
-
-
-#: (expression, max_clauses) -> _Summary, LRU order.  One subscription
-#: propagating across a B-broker overlay enters B-1 covering indexes;
-#: the summary (like the DNF underneath it) is a pure function of the
-#: expression, so it is computed once, not once per broker.
-_summary_cache: "dict[tuple[BooleanExpression, int], _Summary]" = {}
-_SUMMARY_CACHE_LIMIT = 16_384
-
-# summaries retain DNF objects: clear them whenever the DNF memo clears
-_normal_forms._dependent_cache_clearers.append(_summary_cache.clear)
-
-
-def summarize(expression: BooleanExpression, *, max_clauses: int) -> _Summary:
-    """Build (or recall) the prefilter summary of one expression."""
-    key = (expression, max_clauses)
-    cached = _summary_cache.get(key)
-    if cached is not None:
-        _summary_cache[key] = _summary_cache.pop(key)  # refresh LRU slot
-        return cached
-    summary = _summarize(expression, max_clauses=max_clauses)
-    _summary_cache[key] = summary
-    if len(_summary_cache) > _SUMMARY_CACHE_LIMIT:
-        _summary_cache.pop(next(iter(_summary_cache)))
-    return summary
-
-
-def _summarize(expression: BooleanExpression, *, max_clauses: int) -> _Summary:
-    try:
-        dnf = canonical_dnf(expression, max_clauses=max_clauses)
-    except DnfExplosionError:
-        return _Summary(None, frozenset(), {}, {})
-    attribute_sets = []
-    for clause in dnf:
-        attribute_sets.append(
-            frozenset(literal.predicate.attribute for literal in clause)
-        )
-    required = frozenset.intersection(*attribute_sets)
-    hulls: dict[str, Interval] = {}
-    clause_hulls: dict[str, Interval | None] = {}
-    for attribute in required:
-        coverer_hull: Interval | None = None
-        covered_hull: Interval | None = None
-        tight = True          # every clause has a positive interval literal
-        usable = True         # no cross-domain TypeError anywhere
-        for clause in dnf:
-            clause_interval: Interval | None = None
-            clause_nonempty = True
-            has_interval_literal = False
-            for literal in clause:
-                if literal.predicate.attribute != attribute:
-                    continue
-                if not literal.positive:
-                    continue
-                exact = _bounds(literal.predicate)
-                if exact is not None:
-                    has_interval_literal = True
-                    if coverer_hull is None:
-                        coverer_hull = exact
-                    else:
-                        try:
-                            coverer_hull = _hull(coverer_hull, exact)
-                        except TypeError:
-                            usable = False
-                            break
-                pseudo = exact or _pseudo_bounds(literal.predicate)
-                if pseudo is not None and clause_nonempty:
-                    if clause_interval is None:
-                        clause_interval = pseudo
-                    else:
-                        try:
-                            clause_interval = _intersect(clause_interval, pseudo)
-                        except TypeError:
-                            usable = False
-                            break
-                        if clause_interval is None:
-                            clause_nonempty = False
-            if not usable:
-                break
-            if not has_interval_literal:
-                tight = False
-            if clause_nonempty and clause_interval is None:
-                # no positive interval-able literal: the clause admits
-                # any value, so the covered-role hull is unbounded
-                clause_interval = (None, None, False, False)
-            if clause_nonempty:
-                if covered_hull is None:
-                    covered_hull = clause_interval
-                else:
-                    try:
-                        covered_hull = _hull(covered_hull, clause_interval)
-                    except TypeError:
-                        usable = False
-                        break
-        if not usable:
-            clause_hulls[attribute] = None
-            continue
-        if tight and coverer_hull is not None:
-            hulls[attribute] = coverer_hull
-        # covered_hull None here means every clause was empty on this
-        # attribute (unsatisfiable): contained in anything
-        clause_hulls[attribute] = covered_hull or "empty"
-    return _Summary(dnf, required, hulls, clause_hulls)
+__all__ = [
+    "AddOutcome",
+    "CoveringIndex",
+    "Interval",
+    "RemoveOutcome",
+    "summarize",
+]
 
 
 def _hull_fits(coverer: _Summary, covered: _Summary) -> bool:

@@ -99,8 +99,30 @@ class TestRecords:
 
     def test_record_key_is_the_comparison_identity(self):
         record = make_record(shards=4, executor="thread")
-        assert record.key == ("throughput", "noncanonical", 4, "thread", 256)
+        assert record.key == (
+            "throughput",
+            "noncanonical",
+            4,
+            "thread",
+            "hash",
+            256,
+        )
         assert "×4" in record.label()
+
+    def test_partitioner_defaults_to_hash_for_old_reports(self):
+        # reports written before the routing layer carry no partitioner
+        # field; they must load as hash-partitioned records so the
+        # comparator matches them against fresh hash points
+        data = make_record().to_dict()
+        del data["partitioner"]
+        record = BenchRecord.from_dict(data)
+        assert record.partitioner == "hash"
+        assert record.key[4] == "hash"
+
+    def test_routed_partitioner_is_part_of_the_label(self):
+        record = make_record(shards=8, partitioner="routed")
+        assert "routed" in record.label()
+        assert record.key[4] == "routed"
 
     @pytest.mark.parametrize(
         "overrides",
@@ -164,6 +186,7 @@ class TestRunner:
         assert report.scenarios() == {
             "throughput",
             "shard-scaling",
+            "shard-routing",
             "skew",
             "churn",
             "network-line",
